@@ -1,0 +1,99 @@
+// Command gengraph generates the synthetic datasets used throughout this
+// repository (DBLP-like collaboration graph, Epinions-like trust graph,
+// SF-like road network, uniform G(n,m)) and writes them in the graph text
+// or binary format.
+//
+// Usage:
+//
+//	gengraph -type dblp -nodes 20000 -out dblp.rkg
+//	gengraph -type road -rows 200 -cols 200 -stores 408 -out sf.rkg -storesout sf.stores
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"rkranks/internal/gen"
+	"rkranks/internal/graph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gengraph: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gengraph", flag.ContinueOnError)
+	var (
+		typ       = fs.String("type", "dblp", "dataset type: dblp|epinions|road|gnm")
+		nodes     = fs.Int("nodes", 10000, "node count (dblp, epinions, gnm)")
+		edges     = fs.Int("edges", 0, "edge count (gnm; default 3x nodes)")
+		attach    = fs.Int("attach", 7, "collaborations per arriving author (dblp)")
+		outdeg    = fs.Int("outdeg", 3, "trust statements per arriving user (epinions)")
+		directed  = fs.Bool("directed", true, "directed edges (epinions, gnm)")
+		rows      = fs.Int("rows", 100, "grid rows (road)")
+		cols      = fs.Int("cols", 100, "grid cols (road)")
+		stores    = fs.Int("stores", 408, "store count (road)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		out       = fs.String("out", "", "output graph path (.rkg = binary, else text)")
+		storesOut = fs.String("storesout", "", "output path for store node ids (road)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+
+	var g *graph.Graph
+	var storeIDs []int32
+	switch *typ {
+	case "dblp":
+		g = gen.DBLPLike(gen.DBLPLikeParams{
+			Nodes: *nodes, AttachPerNode: *attach, ExtraCollabFactor: 0.5, Seed: *seed,
+		})
+	case "epinions":
+		g = gen.EpinionsLike(gen.EpinionsLikeParams{
+			Nodes: *nodes, OutPerNode: *outdeg, BackEdgeProb: 0.3,
+			Undirected: !*directed, Seed: *seed,
+		})
+	case "road":
+		g, storeIDs = gen.RoadNetwork(gen.RoadNetworkParams{
+			Rows: *rows, Cols: *cols, KeepProb: 0.25, Stores: *stores, Seed: *seed,
+		})
+	case "gnm":
+		m := *edges
+		if m == 0 {
+			m = 3 * *nodes
+		}
+		g = gen.GNM(*nodes, m, *directed, *seed)
+	default:
+		return fmt.Errorf("unknown -type %q (want dblp|epinions|road|gnm)", *typ)
+	}
+
+	if err := graph.WriteFile(*out, g); err != nil {
+		return fmt.Errorf("writing %s: %w", *out, err)
+	}
+	fmt.Fprintf(stdout, "wrote %s: %d nodes, %d edges, directed=%v\n", *out, g.N(), g.M(), g.Directed())
+
+	if *typ == "road" && *storesOut != "" {
+		f, err := os.Create(*storesOut)
+		if err != nil {
+			return err
+		}
+		for _, s := range storeIDs {
+			fmt.Fprintln(f, s)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s: %d store ids\n", *storesOut, len(storeIDs))
+	}
+	return nil
+}

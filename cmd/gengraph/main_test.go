@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rkranks/internal/graph"
+)
+
+func TestRunDBLP(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g.rkg")
+	var sb strings.Builder
+	if err := run([]string{"-type", "dblp", "-nodes", "300", "-out", out}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "300 nodes") {
+		t.Errorf("output: %q", sb.String())
+	}
+	g, err := graph.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 300 || g.Directed() {
+		t.Errorf("graph: n=%d directed=%v", g.N(), g.Directed())
+	}
+}
+
+func TestRunRoadWithStores(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g.txt")
+	storesOut := filepath.Join(dir, "stores.txt")
+	var sb strings.Builder
+	err := run([]string{"-type", "road", "-rows", "10", "-cols", "10",
+		"-stores", "7", "-out", out, "-storesout", storesOut}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 {
+		t.Errorf("road nodes = %d", g.N())
+	}
+	f, err := os.Open(storesOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines++
+	}
+	if lines != 7 {
+		t.Errorf("stores file has %d lines", lines)
+	}
+}
+
+func TestRunGNMAndEpinions(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	gnm := filepath.Join(dir, "gnm.rkg")
+	if err := run([]string{"-type", "gnm", "-nodes", "50", "-out", gnm}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	epi := filepath.Join(dir, "epi.rkg")
+	if err := run([]string{"-type", "epinions", "-nodes", "80", "-out", epi}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.ReadFile(epi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Directed() {
+		t.Error("epinions not directed")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-type", "dblp"}, &sb); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run([]string{"-type", "wat", "-out", filepath.Join(t.TempDir(), "x")}, &sb); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,108 @@
+// Command rkbench regenerates the paper's evaluation tables and figures
+// (Section 6) on the synthetic stand-in datasets. Each experiment prints a
+// table whose rows mirror the paper's; see EXPERIMENTS.md for the
+// paper-vs-measured record.
+//
+// Usage:
+//
+//	rkbench -exp all                 # the full suite at the default scale
+//	rkbench -exp figure6 -scale small
+//	rkbench -exp table11 -queries 200 -seed 7
+//	rkbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rkranks/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rkbench: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rkbench", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "all", "experiment name or 'all' (see -list)")
+		scale   = fs.String("scale", "default", "dataset scale: small|default")
+		queries = fs.Int("queries", 0, "override queries per measurement point")
+		seed    = fs.Int64("seed", 0, "override random seed")
+		ksFlag  = fs.String("ks", "", "override k axis, comma separated (e.g. 5,10,20)")
+		list    = fs.Bool("list", false, "list experiment names and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Fprintln(stdout, n)
+		}
+		return nil
+	}
+
+	var cfg experiments.Config
+	switch *scale {
+	case "small":
+		cfg = experiments.Small()
+	case "default":
+		cfg = experiments.Default()
+	default:
+		return fmt.Errorf("unknown -scale %q (want small|default)", *scale)
+	}
+	if *queries > 0 {
+		cfg.Queries = *queries
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *ksFlag != "" {
+		cfg.Ks = nil
+		for _, part := range strings.Split(*ksFlag, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad -ks entry %q: %v", part, err)
+			}
+			cfg.Ks = append(cfg.Ks, k)
+			if k > cfg.KMax {
+				cfg.KMax = k
+			}
+		}
+	}
+
+	runner, err := experiments.NewRunner(cfg)
+	if err != nil {
+		return err
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		start := time.Now()
+		tables, err := runner.Run(name)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(stdout, "=== %s (%v) ===\n", name, time.Since(start).Round(time.Millisecond))
+		for _, t := range tables {
+			if err := t.Render(stdout); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

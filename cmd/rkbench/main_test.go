@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table3", "figure6", "figure7", "table15"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("missing %q in list:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestRunSingleExperimentSmall(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-exp", "table3", "-scale", "small"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "=== table3") || !strings.Contains(out, "largest set size") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-exp", "figure7", "-scale", "small", "-queries", "3", "-seed", "5", "-ks", "5,10"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "3 queries per point") {
+		t.Errorf("queries override missing:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scale", "wat"}, &sb); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := run([]string{"-exp", "table99", "-scale", "small"}, &sb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-ks", "x,y", "-scale", "small"}, &sb); err == nil {
+		t.Error("bad ks accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rkranks/internal/graph"
+	tg "rkranks/internal/testgraphs"
+)
+
+func writeToy(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "toy.rkg")
+	if err := graph.WriteFile(path, tg.Toy()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBasicQuery(t *testing.T) {
+	path := writeToy(t)
+	var sb strings.Builder
+	if err := run([]string{"-graph", path, "-qlabel", "Alice", "-k", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Bob (rank 3)", "Caroline (rank 4)", "[dynamic]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCompareAndTrace(t *testing.T) {
+	path := writeToy(t)
+	var sb strings.Builder
+	if err := run([]string{"-graph", path, "-qlabel", "Alice", "-k", "2", "-compare", "-trace"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"[naive]", "[static]", "[dynamic]", "trace: pruned-by-bound"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunIndexedWithSaveAndLoad(t *testing.T) {
+	path := writeToy(t)
+	idxPath := filepath.Join(t.TempDir(), "toy.rki")
+	var sb strings.Builder
+	err := run([]string{"-graph", path, "-qlabel", "Eric", "-k", "2",
+		"-algo", "indexed", "-h", "0.5", "-m", "0.9", "-kmax", "4",
+		"-saveindex", idxPath}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "saved index to") {
+		t.Errorf("no save confirmation:\n%s", sb.String())
+	}
+	sb.Reset()
+	err = run([]string{"-graph", path, "-qlabel", "Eric", "-k", "2",
+		"-algo", "indexed", "-loadindex", idxPath}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "loaded index from") {
+		t.Errorf("no load confirmation:\n%s", out)
+	}
+	if !strings.Contains(out, "Bob (rank 1)") || !strings.Contains(out, "Sid (rank 1)") {
+		t.Errorf("wrong result:\n%s", out)
+	}
+}
+
+func TestRunTopKAndReverseTopK(t *testing.T) {
+	path := writeToy(t)
+	var sb strings.Builder
+	if err := run([]string{"-graph", path, "-qlabel", "Alice", "-k", "3", "-query", "topk"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Bob (distance 1)") {
+		t.Errorf("topk output:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := run([]string{"-graph", path, "-qlabel", "Eric", "-k", "2", "-query", "reverse-topk"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(6 nodes)") {
+		t.Errorf("reverse-topk output:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeToy(t)
+	var sb strings.Builder
+	cases := [][]string{
+		{},                                    // missing -graph
+		{"-graph", "/does/not/exist"},         // bad file
+		{"-graph", path, "-q", "99"},          // out of range
+		{"-graph", path, "-qlabel", "Nobody"}, // unknown label
+		{"-graph", path, "-q", "0", "-query", "wat"},  // bad query type
+		{"-graph", path, "-q", "0", "-algo", "wat"},   // bad algo
+		{"-graph", path, "-q", "0", "-bounds", "wat"}, // bad bounds
+		{"-graph", path, "-q", "0", "-algo", "indexed", "-loadindex", "/nope"},
+	}
+	for i, args := range cases {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("case %d (%v) accepted", i, args)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package rkranks_test
+
+import (
+	"fmt"
+	"log"
+
+	"rkranks"
+)
+
+// Example reproduces Example 1 of the paper: the reverse 2-ranks query of
+// Alice, a weakly connected newcomer, returns the two researchers most
+// likely to collaborate with her — exactly where reverse top-k returns
+// nothing.
+func Example() {
+	b := rkranks.NewBuilder(false)
+	id := map[string]int32{}
+	for _, n := range []string{"Alice", "Bob", "Caroline", "Sid", "Eric", "Frank", "George"} {
+		id[n] = b.AddLabeledNode(n)
+	}
+	edges := []struct {
+		u, v string
+		w    float64
+	}{
+		{"Alice", "Bob", 1.0}, {"Bob", "Eric", 0.2}, {"Bob", "Caroline", 0.3},
+		{"Caroline", "Sid", 1.2}, {"Eric", "Frank", 0.9}, {"Eric", "Sid", 1.0},
+		{"Eric", "George", 1.1}, {"Frank", "George", 0.2},
+	}
+	for _, e := range edges {
+		b.MustAddEdge(id[e.u], id[e.v], e.w)
+	}
+	g := b.Finalize()
+
+	fmt.Println("reverse top-2 of Alice:", len(rkranks.ReverseTopK(g, id["Alice"], 2)), "results")
+	entries, err := rkranks.ReverseKRanks(g, id["Alice"], 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range entries {
+		fmt.Printf("%s ranks Alice #%d\n", g.Label(e.Node), e.Rank)
+	}
+	// Output:
+	// reverse top-2 of Alice: 0 results
+	// Bob ranks Alice #3
+	// Caroline ranks Alice #4
+}
+
+// ExampleBuildIndex shows the precomputation path for query streams.
+func ExampleBuildIndex() {
+	b := rkranks.NewBuilder(false)
+	for i := 0; i < 6; i++ {
+		b.AddNode()
+	}
+	for i := 0; i < 5; i++ {
+		b.MustAddEdge(int32(i), int32(i+1), float64(i+1))
+	}
+	g := b.Finalize()
+
+	ix, err := rkranks.BuildIndex(g, rkranks.IndexParams{
+		HubFraction: 0.5, RankFraction: 0.5, MaxK: 3, Strategy: rkranks.DegreeHubs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := rkranks.NewEngine(g, rkranks.Options{})
+	e.SetIndex(ix)
+	res, err := e.Query(rkranks.Indexed, 0, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, en := range res.Entries {
+		fmt.Printf("node %d ranks node 0 #%d\n", en.Node, en.Rank)
+	}
+	// Output:
+	// node 1 ranks node 0 #1
+	// node 2 ranks node 0 #2
+}

@@ -1,0 +1,117 @@
+// Supermarket case study (the paper's Figure 5, Section 6.2.2): a
+// bichromatic reverse k-ranks query on a road network. Stores form the
+// query class, road nodes (standing in for communities) form the result
+// class. A store's reverse k-ranks answer is the list of k communities
+// most attracted to it by travel time — the right target list for a
+// promotion budget, unlike top-k (unilateral) or reverse top-k (unbounded).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rkranks"
+	"rkranks/internal/gen"
+)
+
+func main() {
+	g, stores := gen.RoadNetwork(gen.RoadNetworkParams{
+		Rows: 60, Cols: 60, KeepProb: 0.25, Stores: 60, Seed: 7,
+	})
+	candidates, counted := gen.StoreClasses(g.N(), stores)
+	fmt.Printf("road network: %d junctions, %d road segments, %d stores\n\n",
+		g.N(), g.M(), len(stores))
+
+	engine := rkranks.NewEngine(g, rkranks.Options{
+		Candidates: candidates, // communities may appear in results
+		Counted:    counted,    // ranks count competing stores
+	})
+
+	// Two nearby competing stores, as in the Wellcome/Parknshop study:
+	// pick the closest store pair so their catchment areas overlap.
+	wellcome, parknshop := closestStorePair(g, stores)
+	d, _ := rkranks.Distance(g, wellcome, parknshop)
+	fmt.Printf("competing stores %d and %d are %.2f travel minutes apart\n\n", wellcome, parknshop, d)
+	for _, q := range []int32{wellcome, parknshop} {
+		res, err := engine.Query(rkranks.Dynamic, q, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("store %d: top-5 communities to target (reverse 5-ranks):\n", q)
+		for i, e := range res.Entries {
+			d, _ := rkranks.Distance(g, e.Node, q)
+			fmt.Printf("  %d. community %-6d ranks store #%d (travel time %.2f)\n",
+				i+1, e.Node, e.Rank, d)
+		}
+		fmt.Println()
+	}
+
+	// The paper's reverse top-1 comparison: communities whose *nearest*
+	// store is this one. Unbounded size — useful context, unusable as a
+	// fixed-size promotion list.
+	loyal := rkranks.ReverseTopKBichromatic(g, wellcome, 1, candidates, counted)
+	fmt.Printf("reverse top-1 of store %d: %d communities call it their nearest store\n\n", wellcome, len(loyal))
+
+	// Contrast with top-k's unilateral view: scan the communities nearest
+	// to the store for one that actually prefers a rival (the paper's
+	// community B, nearest to Parknshop yet loyal to Wellcome).
+	for _, e := range rkranks.TopK(g, wellcome, 10) {
+		if counted[e.Node] {
+			continue // another store
+		}
+		if r := bichromaticRank(g, e.Node, wellcome, counted); r > 1 {
+			fmt.Printf("community %d is among the nearest to store %d, yet ranks it only #%d — a top-k hit a promotion would waste\n",
+				e.Node, wellcome, r)
+			break
+		}
+	}
+
+	// The paper's Figure 7 shows the index shining on sparse road networks.
+	ix, err := rkranks.BuildIndex(g, rkranks.IndexParams{
+		HubFraction: 0.1, RankFraction: 0.1, MaxK: 20,
+		Strategy: rkranks.DegreeHubs, Counted: counted,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine.SetIndex(ix)
+	res, err := engine.Query(rkranks.Indexed, wellcome, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nindexed query for store %d: %d refinement(s), %d answered from the index\n",
+		wellcome, res.Stats.Refinements, res.Stats.IndexHits+res.Stats.SeededFromIndex)
+}
+
+// closestStorePair returns the pair of stores with the smallest travel
+// distance between them.
+func closestStorePair(g *rkranks.Graph, stores []int32) (int32, int32) {
+	best := 1e18
+	a, b := stores[0], stores[1]
+	for i := 0; i < len(stores); i++ {
+		for j := i + 1; j < len(stores); j++ {
+			if d, ok := rkranks.Distance(g, stores[i], stores[j]); ok && d < best {
+				best, a, b = d, stores[i], stores[j]
+			}
+		}
+	}
+	return a, b
+}
+
+// bichromaticRank counts competing stores closer to the community than q.
+func bichromaticRank(g *rkranks.Graph, community, q int32, counted []bool) int32 {
+	dq, ok := rkranks.Distance(g, community, q)
+	if !ok {
+		return rkranks.RankUnreachable
+	}
+	r := int32(1)
+	for v := int32(0); int(v) < g.N(); v++ {
+		if !counted[v] || v == q {
+			continue
+		}
+		if d, ok := rkranks.Distance(g, community, v); ok && d < dq {
+			r++
+		}
+	}
+	return r
+}

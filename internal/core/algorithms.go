@@ -1,0 +1,205 @@
+package core
+
+import "math"
+
+// naive is the Section 2 baseline: evaluate Rank(p, q) for every candidate
+// node p by a partial Dijkstra from p, keeping the best k in a heap. The
+// only optimization retained from the paper's description is the running
+// kRank bound inside each refinement ("the top-k of these ranks are
+// maintained in a heap").
+func (e *Engine) naive(q int32, k int) *Result {
+	e.begin(q, k, Naive)
+	n := int32(e.g.N())
+	for p := int32(0); p < n; p++ {
+		if p == q || !e.candidate(p) {
+			continue
+		}
+		bound, exact := e.refine(p, math.Inf(1))
+		if exact && bound <= e.heap.kRank() {
+			e.offer(p, bound)
+		}
+	}
+	return e.finish()
+}
+
+// static is the basic SDS-tree framework (Section 3, Algorithm 1): traverse
+// the transpose graph from q in distance order; rank-refine every dequeued
+// candidate immediately; expand a node's children only while it can still
+// qualify (Theorem 1: descendants rank no better than their ancestors).
+func (e *Engine) static(q int32, k int) *Result {
+	e.begin(q, k, Static)
+	e.tree.ResetReverse(q)
+	for {
+		v, d, ok := e.tree.Pop()
+		if !ok {
+			break
+		}
+		e.stats.TreeSettled++
+		if v == q {
+			e.tree.Expand(v, d)
+			continue
+		}
+		if !e.candidate(v) {
+			e.passThrough(v, d)
+			continue
+		}
+		e.refineAndSettle(v, d)
+	}
+	return e.finish()
+}
+
+// dynamic is the Dynamic Bounded SDS-tree (Section 4): the candidacy
+// decision is delayed to dequeue time and a Theorem-2 lower bound —
+// max(height, parent rank, visit count) — skips the refinement entirely
+// when it already reaches kRank.
+func (e *Engine) dynamic(q int32, k int) *Result {
+	e.begin(q, k, Dynamic)
+	e.tree.ResetReverse(q)
+	for {
+		v, d, ok := e.tree.Pop()
+		if !ok {
+			break
+		}
+		e.stats.TreeSettled++
+		if v == q {
+			e.tree.Expand(v, d)
+			continue
+		}
+		if !e.candidate(v) {
+			e.passThrough(v, d)
+			continue
+		}
+		lb := e.lowerBound(v, 0)
+		if lb >= e.heap.kRank() {
+			e.skipCandidate(v, d, lb)
+			continue // prune the refinement (Theorem 2)
+		}
+		e.refineAndSettle(v, d)
+	}
+	return e.finish()
+}
+
+// skipCandidate records a candidate disqualified by its lower bound. Its
+// subtree is usually pruned too (Theorem 1), except in bichromatic mode
+// where an uncounted node's descendants may rank one better than the node
+// itself (see descBound) and must still be explored. The recorded
+// descendant bound keeps the parent's (which passes through v unweakened)
+// when that is stronger than v's own adjusted bound.
+func (e *Engine) skipCandidate(v int32, d float64, lb int32) {
+	db := e.descBound(v, lb)
+	if pb := e.parentBound(v); pb > db {
+		db = pb
+	}
+	e.setDescBound(v, db)
+	e.stats.PrunedByBound++
+	expand := db < e.heap.kRank()
+	if expand {
+		e.tree.Expand(v, d)
+	}
+	e.trace(v, d, TracePrunedByBound, lb, expand)
+}
+
+// indexed is the Dynamic Bounded SDS-tree with the Check / Reverse-Rank
+// dictionaries (Section 5, Algorithms 3-4). The result heap is seeded from
+// the Reverse Rank Dictionary of q; candidates whose exact rank the
+// dictionary already knows skip refinement, and the Check Dictionary joins
+// the Theorem-2 lower bound. Refinements feed their discoveries back into
+// the index, so subsequent queries get faster (Table 14).
+func (e *Engine) indexed(q int32, k int) *Result {
+	e.begin(q, k, Indexed)
+	for _, en := range e.idx.Reverse(q) {
+		if e.candidate(en.Node) && e.offer(en.Node, en.Rank) {
+			e.stats.SeededFromIndex++
+			e.trace(en.Node, 0, TraceSeeded, en.Rank, false)
+		}
+	}
+	e.tree.ResetReverse(q)
+	for {
+		v, d, ok := e.tree.Pop()
+		if !ok {
+			break
+		}
+		e.stats.TreeSettled++
+		if v == q {
+			e.tree.Expand(v, d)
+			continue
+		}
+		if !e.candidate(v) {
+			e.passThrough(v, d)
+			continue
+		}
+		if r, known := e.idx.LookupRank(q, v); known {
+			e.stats.IndexHits++
+			e.setDescBound(v, e.descBound(v, r))
+			if r <= e.heap.kRank() {
+				e.offer(v, r)
+			}
+			expand := r <= e.heap.kRank()
+			if expand {
+				e.tree.Expand(v, d)
+			}
+			e.trace(v, d, TraceIndexHit, r, expand)
+			continue
+		}
+		lb := e.lowerBound(v, e.idx.Check(v))
+		if lb >= e.heap.kRank() {
+			e.skipCandidate(v, d, lb)
+			continue
+		}
+		e.refineAndSettle(v, d)
+	}
+	return e.finish()
+}
+
+// passThrough handles a dequeued node outside the candidate class V1
+// (bichromatic queries): it cannot be a result, but shortest paths of
+// candidates run through it. Its descendants are also descendants of its
+// parent, so the parent's descendant bound passes through unweakened
+// (no per-hop loss), and the subtree is pruned once that bound already
+// disqualifies everything below.
+func (e *Engine) passThrough(v int32, d float64) {
+	pb := e.parentBound(v)
+	e.setDescBound(v, pb)
+	expand := pb <= e.heap.kRank()
+	if expand {
+		e.tree.Expand(v, d)
+	}
+	e.trace(v, d, TracePassThrough, pb, expand)
+}
+
+// lowerBound evaluates the Theorem-2 lower bound of a candidate about to be
+// refined, extended with the Check Dictionary bound for the indexed engine,
+// and attributes the win for the Table 11 analysis. Tie attribution order:
+// height, count, parent (check-dictionary wins are folded into the final
+// max without attribution, mirroring the paper's three-component table).
+func (e *Engine) lowerBound(v, check int32) int32 {
+	var height, count, parent int32
+	if e.bounds&BoundHeight != 0 {
+		height = e.tree.Depth(v)
+	}
+	if e.bounds&BoundCount != 0 {
+		count = e.lcountOf(v)
+	}
+	if e.bounds&BoundParent != 0 {
+		parent = e.parentBound(v)
+	}
+	switch {
+	case height >= count && height >= parent:
+		e.stats.HeightWins++
+	case count >= parent:
+		e.stats.CountWins++
+	default:
+		e.stats.ParentWins++
+	}
+	lb := height
+	if count > lb {
+		lb = count
+	}
+	if parent > lb {
+		lb = parent
+	}
+	if check > lb {
+		lb = check
+	}
+	return lb
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rkranks/internal/graph"
+)
+
+// TestBichromaticQuick is the randomized Definitions-3/4 property test:
+// arbitrary graphs with arbitrary (possibly overlapping, possibly empty)
+// class assignments must match the brute-force bichromatic oracle for
+// every engine.
+func TestBichromaticQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(25)
+		directed := rng.Intn(2) == 0
+		b := graph.NewBuilder(directed)
+		b.SetDedupe(true)
+		b.EnsureNodes(n)
+		m := n * (1 + rng.Intn(4))
+		for i := 0; i < m; i++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v {
+				b.MustAddEdge(u, v, float64(1+rng.Intn(4)))
+			}
+		}
+		g := b.Finalize()
+
+		candidates := make([]bool, n)
+		counted := make([]bool, n)
+		var queryPool []int32
+		for v := 0; v < n; v++ {
+			candidates[v] = rng.Intn(3) > 0 // ~2/3 candidates
+			counted[v] = rng.Intn(3) > 0    // classes may overlap
+			if counted[v] {
+				queryPool = append(queryPool, int32(v))
+			}
+		}
+		if len(queryPool) == 0 {
+			return true // nothing to query
+		}
+		e := NewEngine(g, Options{Candidates: candidates, Counted: counted})
+		for trial := 0; trial < 3; trial++ {
+			q := queryPool[rng.Intn(len(queryPool))]
+			k := 1 + rng.Intn(6)
+			oracle := bruteBichromatic(g, q, k, candidates, counted)
+			for _, algo := range []Algorithm{Naive, Static, Dynamic} {
+				res, err := e.Query(algo, q, k)
+				if err != nil {
+					t.Logf("seed=%d %v: %v", seed, algo, err)
+					return false
+				}
+				if len(res.Entries) != len(oracle) {
+					t.Logf("seed=%d %v q=%d k=%d: %v vs oracle %v", seed, algo, q, k, res.Entries, oracle)
+					return false
+				}
+				for i := range oracle {
+					if res.Entries[i].Rank != oracle[i].Rank {
+						t.Logf("seed=%d %v q=%d k=%d: %v vs oracle %v", seed, algo, q, k, res.Entries, oracle)
+						return false
+					}
+					if !candidates[res.Entries[i].Node] {
+						t.Logf("seed=%d %v: non-candidate in result", seed, algo)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"rkranks/internal/rank"
+)
+
+// TestCutoffAblationAgreesEverywhere: the refinement frontier cutoff is a
+// pure optimization — disabling it must never change any engine's answer
+// on any topology, including tie-heavy and directed graphs.
+func TestCutoffAblationAgreesEverywhere(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		g := tieHeavyGraph(77, directed)
+		plain := NewEngine(g, Options{})
+		ablate := NewEngine(g, Options{DisableDistanceCutoff: true})
+		for q := int32(0); int(q) < g.N(); q += 4 {
+			for _, k := range []int{1, 4, 9} {
+				for _, algo := range []Algorithm{Static, Dynamic} {
+					a, err := plain.Query(algo, q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := ablate.Query(algo, q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if fmt.Sprint(a.Entries) != fmt.Sprint(b.Entries) {
+						t.Fatalf("directed=%v %v q=%d k=%d: cutoff changed results: %v vs %v",
+							directed, algo, q, k, a.Entries, b.Entries)
+					}
+					// Work may differ, correctness may not.
+					if a.Stats.Refinements != b.Stats.Refinements {
+						t.Fatalf("directed=%v %v q=%d k=%d: cutoff changed refinement count %d vs %d",
+							directed, algo, q, k, a.Stats.Refinements, b.Stats.Refinements)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCutoffDoesNotChangeSettles: the cutoff drops only queue pushes of
+// nodes that could never settle before the refinement target (Dijkstra
+// settles in distance order and stops at q), so settle counts must be
+// *exactly* equal with and without it — the saving is queue pressure, not
+// settles.
+func TestCutoffDoesNotChangeSettles(t *testing.T) {
+	g := tieHeavyGraph(78, false)
+	plain := NewEngine(g, Options{})
+	ablate := NewEngine(g, Options{DisableDistanceCutoff: true})
+	var with, without int64
+	for q := int32(0); int(q) < g.N(); q += 3 {
+		a, err := plain.Query(Dynamic, q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ablate.Query(Dynamic, q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		with += a.Stats.RefineSettled
+		without += b.Stats.RefineSettled
+		_ = rank.Entry{}
+	}
+	if without != with {
+		t.Errorf("settle counts differ: with cutoff %d, without %d", with, without)
+	}
+}

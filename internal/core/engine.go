@@ -1,0 +1,365 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rkranks/internal/graph"
+	"rkranks/internal/rank"
+	"rkranks/internal/ridx"
+	"rkranks/internal/sssp"
+)
+
+// Engine evaluates reverse k-ranks queries against one graph. It owns
+// reusable per-query workspaces (two Dijkstra searches plus epoch-stamped
+// node arrays), so queries after the first allocate nothing.
+//
+// An Engine is not safe for concurrent use; create one per goroutine. An
+// attached Index is mutated by Indexed queries (that is the point of the
+// dynamic index), so concurrent engines must not share an Index.
+type Engine struct {
+	g    *graph.Graph
+	opts Options
+	idx  *ridx.Index
+
+	tree *sssp.Search // transpose traversal from q (SDS-tree)
+	ref  *sssp.Search // forward traversal for rank refinements
+
+	epoch   uint32
+	lcount  []int32 // Lemma-4 visit counters
+	lstamp  []uint32
+	nrank   []int32 // recorded rank (or lower bound) of processed nodes
+	nstamp  []uint32
+	ostamp  []uint32 // nodes already offered to the result heap
+	scratch []settleRec
+
+	heap  resultHeap
+	stats Stats
+	q     int32
+	k     int
+
+	tracing  bool
+	traceLog []TraceEvent
+
+	// per-query feature switches
+	bounds   Bounds
+	useLc    bool // maintain lcount during refinements
+	indexing bool // feed refinements back into the index
+}
+
+type settleRec struct {
+	node int32
+	dist float64
+	rank int32
+}
+
+// NewEngine returns an engine over g with the given options.
+func NewEngine(g *graph.Graph, opts Options) *Engine {
+	n := g.N()
+	if opts.Candidates != nil && len(opts.Candidates) != n {
+		panic(fmt.Sprintf("core: Candidates length %d != n %d", len(opts.Candidates), n))
+	}
+	if opts.Counted != nil && len(opts.Counted) != n {
+		panic(fmt.Sprintf("core: Counted length %d != n %d", len(opts.Counted), n))
+	}
+	return &Engine{
+		g:      g,
+		opts:   opts,
+		tree:   sssp.New(g),
+		ref:    sssp.New(g),
+		lcount: make([]int32, n),
+		lstamp: make([]uint32, n),
+		nrank:  make([]int32, n),
+		nstamp: make([]uint32, n),
+		ostamp: make([]uint32, n),
+	}
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Options returns the engine's options.
+func (e *Engine) Options() Options { return e.opts }
+
+// SetIndex attaches (or detaches, with nil) the dynamic index used by
+// Indexed queries. The index must cover the engine's graph.
+func (e *Engine) SetIndex(ix *ridx.Index) {
+	if ix != nil && ix.N() != e.g.N() {
+		panic(fmt.Sprintf("core: index covers %d nodes, graph has %d", ix.N(), e.g.N()))
+	}
+	e.idx = ix
+}
+
+// Index returns the attached index, if any.
+func (e *Engine) Index() *ridx.Index { return e.idx }
+
+// Query runs algorithm a for query node q with result size k.
+func (e *Engine) Query(a Algorithm, q int32, k int) (*Result, error) {
+	if err := e.checkArgs(q, k); err != nil {
+		return nil, err
+	}
+	switch a {
+	case Naive:
+		return e.naive(q, k), nil
+	case Static:
+		return e.static(q, k), nil
+	case Dynamic:
+		return e.dynamic(q, k), nil
+	case Indexed:
+		if e.idx == nil {
+			return nil, fmt.Errorf("core: Indexed query requires SetIndex")
+		}
+		if k > e.idx.MaxK() {
+			return nil, fmt.Errorf("core: k=%d exceeds index K=%d", k, e.idx.MaxK())
+		}
+		return e.indexed(q, k), nil
+	}
+	return nil, fmt.Errorf("core: unknown algorithm %v", a)
+}
+
+func (e *Engine) checkArgs(q int32, k int) error {
+	if q < 0 || int(q) >= e.g.N() {
+		return fmt.Errorf("core: query node %d out of range [0,%d)", q, e.g.N())
+	}
+	if k < 1 {
+		return fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	if e.opts.Counted != nil && !e.opts.Counted[q] {
+		return fmt.Errorf("core: bichromatic query node %d is not in the counted class V2", q)
+	}
+	return nil
+}
+
+// begin resets per-query state.
+func (e *Engine) begin(q int32, k int, a Algorithm) {
+	e.epoch++
+	if e.epoch == 0 {
+		clearU32(e.lstamp)
+		clearU32(e.nstamp)
+		clearU32(e.ostamp)
+		e.epoch = 1
+	}
+	e.q = q
+	e.k = k
+	e.heap.reset(k)
+	e.stats = Stats{}
+	e.traceLog = nil
+	e.bounds = e.opts.effectiveBounds(e.g)
+	e.useLc = a != Naive && a != Static && e.bounds&BoundCount != 0
+	e.indexing = a == Indexed
+}
+
+func clearU32(s []uint32) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+func (e *Engine) candidate(v int32) bool {
+	return e.opts.Candidates == nil || e.opts.Candidates[v]
+}
+
+func (e *Engine) counted(v int32) bool {
+	return e.opts.Counted == nil || e.opts.Counted[v]
+}
+
+// descBound converts a certified lower bound on Rank(v, q) into one valid
+// for every SDS-tree descendant of v (generalized Lemma 1).
+//
+// In monochromatic graphs the bound transfers unchanged. In bichromatic
+// mode, when v itself is NOT in the counted class, the transfer loses
+// exactly one: a descendant w can be a counted member of v's
+// strictly-closer set while v contributes nothing to w's (the set
+// S_v \ {w} injects into S_w, but v itself does not), so
+// Rank(w) >= Rank(v) - 1 is all Lemma 1 guarantees. The loss applies once
+// per bound origin — not per hop — because S_v \ {w} injects into S_w for
+// a descendant at any depth; recorded descendant bounds therefore pass
+// through intermediate nodes unchanged (see setDescBound/passThrough).
+// The paper does not discuss this case; applying the unadjusted bound can
+// wrongly prune true results (caught by the randomized bichromatic oracle
+// test), while re-applying it per hop destroys pruning on long
+// candidate-class chains such as road networks.
+func (e *Engine) descBound(v, bound int32) int32 {
+	if e.opts.Counted == nil || e.opts.Counted[v] {
+		return bound
+	}
+	if bound <= 1 {
+		return 0
+	}
+	return bound - 1
+}
+
+// setDescBound records a certified lower bound on the rank of every
+// SDS-tree descendant of v, consulted by its children at dequeue time.
+func (e *Engine) setDescBound(v, bound int32) {
+	e.nrank[v] = bound
+	e.nstamp[v] = e.epoch
+}
+
+// parentBound returns the certified lower bound that v's SDS-tree parent
+// imposes on Rank(v, q): the parent's recorded descendant bound (0 when
+// the parent is the query node itself).
+func (e *Engine) parentBound(v int32) int32 {
+	p := e.tree.Parent(v)
+	if p < 0 || p == e.q {
+		return 0
+	}
+	if e.nstamp[p] != e.epoch {
+		return 0
+	}
+	return e.nrank[p]
+}
+
+func (e *Engine) lcountOf(v int32) int32 {
+	if e.lstamp[v] != e.epoch {
+		return 0
+	}
+	return e.lcount[v]
+}
+
+func (e *Engine) bumpLcount(v int32) {
+	if e.lstamp[v] != e.epoch {
+		e.lstamp[v] = e.epoch
+		e.lcount[v] = 1
+		return
+	}
+	e.lcount[v]++
+}
+
+// offer adds an exact (node, rank) pair to the result heap, at most once
+// per node per query (the indexed engine can discover a node's rank both
+// from the seeded dictionary and from the traversal).
+func (e *Engine) offer(node, r int32) bool {
+	if e.ostamp[node] == e.epoch {
+		return false
+	}
+	e.ostamp[node] = e.epoch
+	return e.heap.offer(node, r)
+}
+
+// finish assembles the Result.
+func (e *Engine) finish() *Result {
+	return &Result{Query: e.q, K: e.k, Entries: e.heap.sorted(), Stats: e.stats, Trace: e.traceLog}
+}
+
+// refineAndSettle runs the shared refine/offer/expand tail of the three
+// SDS-tree engines for a dequeued candidate. Subtree pruning uses the
+// descendant-transferred bound (see descBound), not v's own.
+func (e *Engine) refineAndSettle(v int32, d float64) {
+	bound, exact := e.refine(v, d)
+	e.setDescBound(v, e.descBound(v, bound))
+	if exact && bound <= e.heap.kRank() {
+		e.offer(v, bound)
+	}
+	// Skipping expansion is sound once descendants cannot beat kRank:
+	// they rank at least descBound(v, bound), and bound > kRank implies
+	// descBound >= kRank, leaving at most optional ties. Expanding on the
+	// tie-inclusive self bound mirrors the paper's Algorithm 1.
+	expand := bound <= e.heap.kRank()
+	if expand {
+		e.tree.Expand(v, d)
+	}
+	if e.tracing {
+		action := TraceRefined
+		if !exact {
+			action = TraceRefineAborted
+		}
+		e.trace(v, d, action, bound, expand)
+	}
+}
+
+// refine computes Rank(p, q) by partial Dijkstra from p (Algorithm 2 / 4).
+//
+// dpq is d(p, q) when known (from the SDS-tree pop), +Inf otherwise; it
+// bounds queue pushes, since nodes farther than q never settle before q.
+//
+// The search aborts as soon as the strictly-closer count reaches the
+// current kRank, because then Rank(p, q) > kRank and p cannot enter the
+// result (Definition 2). Returns the exact rank with exact=true, or a
+// certified lower bound with exact=false (abort), or rank.Unreachable when
+// p cannot reach q at all (only possible for the naive engine; SDS-tree
+// pops always reach q).
+//
+// Side effects, gated by the engine's per-query switches:
+//   - useLc: every settled counted node proven strictly closer to p than q
+//     gets its Lemma-4 visit counter bumped;
+//   - indexing: every settled counted node's exact rank from p feeds the
+//     Reverse Rank Dictionary, and p's Check Dictionary bound is raised.
+func (e *Engine) refine(p int32, dpq float64) (bound int32, exact bool) {
+	kRank := e.heap.kRank()
+	e.stats.Refinements++
+	if e.opts.DisableDistanceCutoff {
+		dpq = math.Inf(1)
+	} else {
+		dpq = sssp.Cutoff(dpq)
+	}
+	e.ref.Reset(p)
+	strictBelow := 0
+	settledCounted := 0
+	level := math.Inf(-1)
+	log := e.scratch[:0]
+	stopLevel := math.Inf(1)
+	for {
+		v, d, ok := e.ref.Pop()
+		if !ok {
+			bound, exact = rank.Unreachable, false
+			stopLevel = math.Inf(1) // whole component settled: all strictly closer
+			break
+		}
+		e.stats.RefineSettled++
+		if v == p {
+			e.ref.ExpandBounded(v, d, dpq)
+			continue
+		}
+		if e.counted(v) {
+			if d > level {
+				strictBelow = settledCounted
+				level = d
+			}
+			r := int32(strictBelow + 1)
+			if v == e.q {
+				bound, exact = r, true
+				stopLevel = d
+				log = append(log, settleRec{v, d, r})
+				break
+			}
+			settledCounted++
+			log = append(log, settleRec{v, d, r})
+			if int32(strictBelow) >= kRank {
+				// Rank(p, q) >= strictBelow+1 > kRank: p cannot qualify.
+				bound, exact = r, false
+				stopLevel = d
+				e.stats.RefineAborted++
+				break
+			}
+		}
+		e.ref.ExpandBounded(v, d, dpq)
+	}
+	if e.useLc || e.indexing {
+		for _, rec := range log {
+			if rec.node == e.q {
+				continue
+			}
+			if e.useLc && rec.dist < stopLevel && !e.tree.Settled(rec.node) {
+				// Strictly closer to p than q (Lemma 3/4). Nodes already
+				// dequeued from the SDS-tree never read their counter
+				// again — and for them the lemma's d(p,q) <= d(t,q)
+				// precondition no longer holds — so they are skipped.
+				e.bumpLcount(rec.node)
+			}
+			if e.indexing {
+				e.idx.Offer(rec.node, p, rec.rank)
+			}
+		}
+		if e.indexing {
+			if exact {
+				e.idx.Offer(e.q, p, bound)
+			}
+			// Any node not settled by this search ranks at least as high
+			// as the last settled one (see ridx package docs).
+			e.idx.RaiseCheck(p, bound)
+		}
+	}
+	e.scratch = log[:0] // retain grown capacity
+	return bound, exact
+}

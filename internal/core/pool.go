@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rkranks/internal/graph"
+)
+
+// Pool serves reverse k-ranks queries concurrently. Engines are not safe
+// for concurrent use (they own per-query workspaces), so the pool keeps one
+// engine per permit and hands them out to callers.
+//
+// Pools support the index-free algorithms (Naive, Static, Dynamic), which
+// only read the shared graph. Indexed queries mutate their index as a side
+// effect — that is the point of the Section-5 dynamic index — so they are
+// deliberately not poolable; run them on a dedicated Engine.
+type Pool struct {
+	engines chan *Engine
+}
+
+// NewPool returns a pool of size engines over g (size <= 0 uses
+// runtime.GOMAXPROCS(0)).
+func NewPool(g *graph.Graph, opts Options, size int) *Pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{engines: make(chan *Engine, size)}
+	for i := 0; i < size; i++ {
+		p.engines <- NewEngine(g, opts)
+	}
+	return p
+}
+
+// Size returns the number of engines in the pool.
+func (p *Pool) Size() int { return cap(p.engines) }
+
+// Query borrows an engine, runs the query, and returns the engine to the
+// pool. Safe for concurrent use.
+func (p *Pool) Query(a Algorithm, q int32, k int) (*Result, error) {
+	if a == Indexed {
+		return nil, fmt.Errorf("core: Indexed queries mutate their index and cannot run on a Pool; use a dedicated Engine")
+	}
+	e := <-p.engines
+	defer func() { p.engines <- e }()
+	return e.Query(a, q, k)
+}
+
+// QueryMany evaluates one query per element of queries concurrently and
+// returns the results in input order. The first error (if any) is
+// returned; remaining queries still run to completion.
+func (p *Pool) QueryMany(a Algorithm, queries []int32, k int) ([]*Result, error) {
+	results := make([]*Result, len(queries))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q int32) {
+			defer wg.Done()
+			res, err := p.Query(a, q, k)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			results[i] = res
+		}(i, q)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

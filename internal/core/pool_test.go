@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"rkranks/internal/gen"
+	"rkranks/internal/rank"
+)
+
+func TestPoolMatchesSerialEngine(t *testing.T) {
+	g := gen.DBLPLike(gen.DBLPLikeParams{Nodes: 200, AttachPerNode: 4, Seed: 3})
+	pool := NewPool(g, Options{}, 4)
+	if pool.Size() != 4 {
+		t.Fatalf("Size = %d", pool.Size())
+	}
+	serial := NewEngine(g, Options{})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for q := int32(0); q < 64; q++ {
+		wg.Add(1)
+		go func(q int32) {
+			defer wg.Done()
+			res, err := pool.Query(Dynamic, q, 5)
+			if err != nil {
+				errs <- err
+				return
+			}
+			want, err := serialResult(serial, q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if fmt.Sprint(res.Entries) != want {
+				errs <- fmt.Errorf("q=%d: %v != %s", q, res.Entries, want)
+			}
+		}(q)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+var serialMu sync.Mutex
+
+func serialResult(e *Engine, q int32) (string, error) {
+	serialMu.Lock()
+	defer serialMu.Unlock()
+	res, err := e.Query(Dynamic, q, 5)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprint(res.Entries), nil
+}
+
+func TestPoolRejectsIndexed(t *testing.T) {
+	g := gen.GNM(20, 40, false, 1)
+	pool := NewPool(g, Options{}, 2)
+	if _, err := pool.Query(Indexed, 0, 2); err == nil {
+		t.Error("pool accepted an Indexed query")
+	}
+}
+
+func TestPoolDefaultSize(t *testing.T) {
+	g := gen.GNM(10, 20, false, 1)
+	pool := NewPool(g, Options{}, 0)
+	if pool.Size() < 1 {
+		t.Errorf("default size = %d", pool.Size())
+	}
+}
+
+func TestQueryMany(t *testing.T) {
+	g := gen.GNM(60, 180, false, 9)
+	pool := NewPool(g, Options{}, 3)
+	queries := []int32{5, 10, 15, 20, 25, 30}
+	results, err := pool.QueryMany(Dynamic, queries, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(queries) {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, res := range results {
+		if res.Query != queries[i] {
+			t.Errorf("result %d is for query %d, want %d", i, res.Query, queries[i])
+		}
+		oracle := rank.BruteForceReverse(g, queries[i], 4)
+		if len(res.Entries) != len(oracle) {
+			t.Errorf("q=%d: size %d want %d", queries[i], len(res.Entries), len(oracle))
+		}
+	}
+}
+
+func TestQueryManyPropagatesError(t *testing.T) {
+	g := gen.GNM(10, 20, false, 2)
+	pool := NewPool(g, Options{}, 2)
+	if _, err := pool.QueryMany(Dynamic, []int32{1, 99}, 2); err == nil {
+		t.Error("out-of-range query did not error")
+	}
+}

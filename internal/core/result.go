@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"rkranks/internal/rank"
+)
+
+// Stats records the work an engine performed for one query. The counters
+// mirror the paper's performance metrics: Refinements is the "Rank
+// Refinement" column reported throughout Section 6, and the bound-win
+// counters feed the Table 11 analysis.
+type Stats struct {
+	// Refinements counts GetRank invocations (partial Dijkstra searches).
+	Refinements int
+	// RefineSettled counts nodes settled across all rank refinements.
+	RefineSettled int64
+	// RefineAborted counts refinements that hit the kRank early-exit.
+	RefineAborted int
+	// TreeSettled counts nodes dequeued from the SDS-tree traversal.
+	TreeSettled int
+	// PrunedByBound counts candidates skipped because their Theorem-2
+	// lower bound (possibly including the Check Dictionary) reached kRank.
+	PrunedByBound int
+	// IndexHits counts candidates whose exact rank came from the Reverse
+	// Rank Dictionary, avoiding a refinement.
+	IndexHits int
+	// SeededFromIndex counts result entries seeded from the Reverse Rank
+	// Dictionary before traversal started.
+	SeededFromIndex int
+	// HeightWins / CountWins / ParentWins attribute, for every candidate
+	// whose lower bound was evaluated, which Theorem-2 component was the
+	// maximum (ties attributed in the order height, count, parent).
+	HeightWins, CountWins, ParentWins int64
+}
+
+// Add accumulates other into s (used when averaging over query batches).
+func (s *Stats) Add(other Stats) {
+	s.Refinements += other.Refinements
+	s.RefineSettled += other.RefineSettled
+	s.RefineAborted += other.RefineAborted
+	s.TreeSettled += other.TreeSettled
+	s.PrunedByBound += other.PrunedByBound
+	s.IndexHits += other.IndexHits
+	s.SeededFromIndex += other.SeededFromIndex
+	s.HeightWins += other.HeightWins
+	s.CountWins += other.CountWins
+	s.ParentWins += other.ParentWins
+}
+
+// Result is the answer to one reverse k-ranks query.
+type Result struct {
+	// Query is the query node q.
+	Query int32
+	// K is the requested result size.
+	K int
+	// Entries holds the result nodes with their exact Rank(p, q) values,
+	// ordered by (rank, node id). len(Entries) < K only when fewer than K
+	// nodes can reach q.
+	Entries []rank.Entry
+	// Stats describes the work performed.
+	Stats Stats
+	// Trace holds the per-node decision log when Engine.SetTracing is
+	// enabled, nil otherwise.
+	Trace []TraceEvent
+}
+
+// KRank returns the largest rank in the result (the k-th top rank), or 0
+// for an empty result.
+func (r *Result) KRank() int32 {
+	if len(r.Entries) == 0 {
+		return 0
+	}
+	return r.Entries[len(r.Entries)-1].Rank
+}
+
+// Nodes returns just the result node ids, in result order.
+func (r *Result) Nodes() []int32 {
+	out := make([]int32, len(r.Entries))
+	for i, e := range r.Entries {
+		out[i] = e.Node
+	}
+	return out
+}
+
+// String renders a compact human-readable summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reverse %d-ranks of %d:", r.K, r.Query)
+	for _, e := range r.Entries {
+		fmt.Fprintf(&b, " %d(rank %d)", e.Node, e.Rank)
+	}
+	return b.String()
+}
+
+// kRankInf is the kRank value while the result heap is not yet full: no
+// candidate can be pruned until k results exist.
+const kRankInf = int32(math.MaxInt32)
+
+// resultHeap maintains the current best-k (node, rank) entries as a
+// max-heap ordered by (rank, node id): the root is the entry that would be
+// evicted next. The (rank, node) tie-break makes every engine
+// deterministic.
+type resultHeap struct {
+	k       int
+	entries []rank.Entry
+}
+
+func (h *resultHeap) reset(k int) {
+	h.k = k
+	if cap(h.entries) < k {
+		h.entries = make([]rank.Entry, 0, k)
+	}
+	h.entries = h.entries[:0]
+}
+
+// kRank returns the current pruning threshold: the worst retained rank once
+// k entries exist, +inf before that.
+func (h *resultHeap) kRank() int32 {
+	if len(h.entries) < h.k {
+		return kRankInf
+	}
+	return h.entries[0].Rank
+}
+
+func worse(a, b rank.Entry) bool {
+	if a.Rank != b.Rank {
+		return a.Rank > b.Rank
+	}
+	return a.Node > b.Node
+}
+
+// offer inserts (node, r), evicting the worst entry when full. It reports
+// whether the entry was retained.
+func (h *resultHeap) offer(node, r int32) bool {
+	e := rank.Entry{Node: node, Rank: r}
+	if len(h.entries) < h.k {
+		h.entries = append(h.entries, e)
+		h.up(len(h.entries) - 1)
+		return true
+	}
+	if !worse(h.entries[0], e) {
+		return false
+	}
+	h.entries[0] = e
+	h.down(0)
+	return true
+}
+
+func (h *resultHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !worse(h.entries[i], h.entries[p]) {
+			break
+		}
+		h.entries[i], h.entries[p] = h.entries[p], h.entries[i]
+		i = p
+	}
+}
+
+func (h *resultHeap) down(i int) {
+	n := len(h.entries)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		c := l
+		if r := l + 1; r < n && worse(h.entries[r], h.entries[l]) {
+			c = r
+		}
+		if !worse(h.entries[c], h.entries[i]) {
+			return
+		}
+		h.entries[i], h.entries[c] = h.entries[c], h.entries[i]
+		i = c
+	}
+}
+
+// sorted returns the entries ordered by (rank, node id) ascending.
+func (h *resultHeap) sorted() []rank.Entry {
+	out := append([]rank.Entry(nil), h.entries...)
+	rank.SortEntries(out)
+	return out
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"rkranks/internal/rank"
+	tg "rkranks/internal/testgraphs"
+)
+
+// TestToyRankMatrix pins the reconstruction of Figure 1 against the paper's
+// published Table 1: every Rank(s, t) must match exactly.
+func TestToyRankMatrix(t *testing.T) {
+	g := tg.Toy()
+	got := rank.Matrix(g)
+	for s := range tg.ToyRankMatrix {
+		for d, want := range tg.ToyRankMatrix[s] {
+			if got[s][d] != want {
+				t.Errorf("Rank(%s, %s) = %d, want %d",
+					tg.ToyNames[s], tg.ToyNames[d], got[s][d], want)
+			}
+		}
+	}
+}
+
+// TestToyExample1 pins the worked queries of Example 1: the reverse 2-ranks
+// query of Alice returns {Bob, Caroline} and of Eric returns {Bob, Sid}.
+func TestToyExample1(t *testing.T) {
+	g := tg.Toy()
+	for _, algo := range []Algorithm{Naive, Static, Dynamic} {
+		e := NewEngine(g, Options{})
+		res, err := e.Query(algo, tg.Alice, 2)
+		if err != nil {
+			t.Fatalf("%v Alice: %v", algo, err)
+		}
+		wantEntries(t, algo.String()+"/Alice", res,
+			[]rank.Entry{{Node: tg.Bob, Rank: 3}, {Node: tg.Caroline, Rank: 4}})
+
+		res, err = e.Query(algo, tg.Eric, 2)
+		if err != nil {
+			t.Fatalf("%v Eric: %v", algo, err)
+		}
+		wantEntries(t, algo.String()+"/Eric", res,
+			[]rank.Entry{{Node: tg.Bob, Rank: 1}, {Node: tg.Sid, Rank: 1}})
+	}
+}
+
+// TestToyDynamicPrunes checks the Section-4 worked example: the dynamic
+// engine answers Alice's reverse 2-ranks query with exactly three rank
+// refinements (Bob, Eric, Caroline), pruning Frank, Sid and George, while
+// the static engine refines all six other researchers.
+func TestToyDynamicPrunes(t *testing.T) {
+	g := tg.Toy()
+	e := NewEngine(g, Options{})
+
+	res, err := e.Query(Static, tg.Alice, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Refinements != 6 {
+		t.Errorf("static refinements = %d, want 6", res.Stats.Refinements)
+	}
+
+	res, err = e.Query(Dynamic, tg.Alice, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Refinements != 3 {
+		t.Errorf("dynamic refinements = %d, want 3 (Bob, Eric, Caroline)", res.Stats.Refinements)
+	}
+	if res.Stats.PrunedByBound != 3 {
+		t.Errorf("dynamic pruned = %d, want 3 (Frank, Sid, George)", res.Stats.PrunedByBound)
+	}
+}
+
+// TestToyBruteForceOracle cross-checks the brute-force oracle itself on the
+// toy graph for every query node and k.
+func TestToyBruteForceOracle(t *testing.T) {
+	g := tg.Toy()
+	for q := int32(0); q < int32(g.N()); q++ {
+		for k := 1; k <= g.N(); k++ {
+			oracle := rank.BruteForceReverse(g, q, k)
+			want := k
+			if want > g.N()-1 {
+				want = g.N() - 1
+			}
+			if len(oracle) != want {
+				t.Fatalf("oracle size for q=%d k=%d: %d, want %d", q, k, len(oracle), want)
+			}
+			for _, e := range oracle {
+				if e.Rank != tg.ToyRankMatrix[e.Node][q] {
+					t.Errorf("oracle rank(%d,%d)=%d, want %d", e.Node, q, e.Rank, tg.ToyRankMatrix[e.Node][q])
+				}
+			}
+		}
+	}
+}
+
+func wantEntries(t *testing.T, label string, res *Result, want []rank.Entry) {
+	t.Helper()
+	if len(res.Entries) != len(want) {
+		t.Fatalf("%s: got %v, want %v", label, res.Entries, want)
+	}
+	for i := range want {
+		if res.Entries[i] != want[i] {
+			t.Errorf("%s: entry %d = %v, want %v", label, i, res.Entries[i], want[i])
+		}
+	}
+}

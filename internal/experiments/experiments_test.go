@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every experiment at the Small scale and
+// sanity-checks the emitted tables.
+func TestAllExperimentsRun(t *testing.T) {
+	r, err := NewRunner(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tables, err := r.Run(name)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s: no tables", name)
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Errorf("%s: empty table %q", name, tab.Title)
+				}
+				s := tab.String()
+				if !strings.Contains(s, tab.Headers[0]) {
+					t.Errorf("%s: render missing header", name)
+				}
+			}
+		})
+	}
+}
+
+// TestRunUnknown covers the error path.
+func TestRunUnknown(t *testing.T) {
+	r, err := NewRunner(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run("table99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestConfigValidate covers configuration validation.
+func TestConfigValidate(t *testing.T) {
+	good := Small()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Small()
+	bad.Ks = []int{999}
+	if err := bad.Validate(); err == nil {
+		t.Error("k > KMax accepted")
+	}
+	bad = Small()
+	bad.DBLPNodes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny dataset accepted")
+	}
+	bad = Small()
+	bad.Queries = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero queries accepted")
+	}
+	bad = Small()
+	bad.Ks = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty Ks accepted")
+	}
+}

@@ -1,0 +1,200 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"rkranks/internal/graph"
+	"rkranks/internal/sssp"
+)
+
+func connected(g *graph.Graph) bool {
+	if g.N() == 0 {
+		return true
+	}
+	s := sssp.New(g)
+	s.Reset(0)
+	count := 0
+	for {
+		_, _, ok := s.Next()
+		if !ok {
+			break
+		}
+		count++
+	}
+	return count == g.N()
+}
+
+func TestDBLPLikeShape(t *testing.T) {
+	g := DBLPLike(DBLPLikeParams{Nodes: 500, AttachPerNode: 5, ExtraCollabFactor: 0.5, Seed: 1})
+	if g.N() != 500 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.Directed() {
+		t.Error("DBLP-like must be undirected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !connected(g) {
+		t.Error("preferential attachment graph disconnected")
+	}
+	avgDeg := 2 * float64(g.M()) / float64(g.N())
+	if avgDeg < 5 || avgDeg > 20 {
+		t.Errorf("avg degree %.1f outside DBLP-ish range", avgDeg)
+	}
+	// Power-law-ish: max degree far above average.
+	_, maxDeg := g.MaxOutDegreeNode()
+	if float64(maxDeg) < 3*avgDeg {
+		t.Errorf("max degree %d not skewed vs avg %.1f", maxDeg, avgDeg)
+	}
+	// Paper weighting normalizes into (0, 1].
+	g.Edges(func(e graph.Edge) bool {
+		if e.Weight <= 0 || e.Weight > 1 {
+			t.Errorf("weight %g outside (0,1]", e.Weight)
+			return false
+		}
+		return true
+	})
+}
+
+func TestDBLPLikeDeterministic(t *testing.T) {
+	a := DBLPLike(DBLPLikeParams{Nodes: 200, AttachPerNode: 4, Seed: 9})
+	b := DBLPLike(DBLPLikeParams{Nodes: 200, AttachPerNode: 4, Seed: 9})
+	if a.M() != b.M() || a.TotalWeight() != b.TotalWeight() {
+		t.Error("same seed produced different graphs")
+	}
+	c := DBLPLike(DBLPLikeParams{Nodes: 200, AttachPerNode: 4, Seed: 10})
+	if a.M() == c.M() && a.TotalWeight() == c.TotalWeight() {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestEpinionsLikeShape(t *testing.T) {
+	g := EpinionsLike(EpinionsLikeParams{Nodes: 400, OutPerNode: 3, BackEdgeProb: 0.3, Seed: 2})
+	if !g.Directed() {
+		t.Error("Epinions-like must be directed by default")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Zipf weights are positive integers >= 1.
+	g.Edges(func(e graph.Edge) bool {
+		if e.Weight < 1 || e.Weight != math.Trunc(e.Weight) {
+			t.Errorf("weight %g is not a positive integer", e.Weight)
+			return false
+		}
+		return true
+	})
+	und := EpinionsLike(EpinionsLikeParams{Nodes: 400, OutPerNode: 3, Undirected: true, Seed: 2})
+	if und.Directed() {
+		t.Error("Undirected flag ignored")
+	}
+}
+
+func TestEpinionsZipfSkew(t *testing.T) {
+	g := EpinionsLike(EpinionsLikeParams{Nodes: 2000, OutPerNode: 3, Seed: 3})
+	ones, total := 0, 0
+	g.Edges(func(e graph.Edge) bool {
+		total++
+		if e.Weight == 1 {
+			ones++
+		}
+		return true
+	})
+	if frac := float64(ones) / float64(total); frac < 0.5 {
+		t.Errorf("Zipf(2) should concentrate mass at 1; got %.2f", frac)
+	}
+}
+
+func TestRoadNetworkShape(t *testing.T) {
+	g, stores := RoadNetwork(RoadNetworkParams{Rows: 20, Cols: 25, KeepProb: 0.25, Stores: 30, Seed: 4})
+	if g.N() != 500 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !connected(g) {
+		t.Error("road network disconnected despite spanning tree")
+	}
+	avgDeg := 2 * float64(g.M()) / float64(g.N())
+	if avgDeg < 1.8 || avgDeg > 3.2 {
+		t.Errorf("avg degree %.2f outside road-network range", avgDeg)
+	}
+	if len(stores) != 30 {
+		t.Fatalf("stores = %d", len(stores))
+	}
+	for i := 1; i < len(stores); i++ {
+		if stores[i] <= stores[i-1] {
+			t.Fatal("stores not sorted/unique")
+		}
+	}
+	g.Edges(func(e graph.Edge) bool {
+		if e.Weight < 0.5 || e.Weight > 1.5 {
+			t.Errorf("travel time %g outside [0.5, 1.5]", e.Weight)
+			return false
+		}
+		return true
+	})
+}
+
+func TestRoadNetworkStoreClamp(t *testing.T) {
+	g, stores := RoadNetwork(RoadNetworkParams{Rows: 2, Cols: 3, Stores: 100, Seed: 1})
+	if len(stores) != g.N() {
+		t.Errorf("stores = %d, want clamped to %d", len(stores), g.N())
+	}
+}
+
+func TestGNMProperties(t *testing.T) {
+	g := GNM(100, 300, false, 5)
+	if g.N() != 100 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.M() > 300 {
+		t.Errorf("M = %d exceeds requested edges", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g.Edges(func(e graph.Edge) bool {
+		if e.From == e.To {
+			t.Error("self-loop generated")
+		}
+		return true
+	})
+	d := GNM(100, 300, true, 5)
+	if !d.Directed() {
+		t.Error("directed flag ignored")
+	}
+}
+
+func TestStoreClasses(t *testing.T) {
+	candidates, counted := StoreClasses(6, []int32{1, 4})
+	for v := 0; v < 6; v++ {
+		isStore := v == 1 || v == 4
+		if counted[v] != isStore {
+			t.Errorf("counted[%d] = %v", v, counted[v])
+		}
+		if candidates[v] != !isStore {
+			t.Errorf("candidates[%d] = %v", v, candidates[v])
+		}
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"dblp":     func() { DBLPLike(DBLPLikeParams{Nodes: 1}) },
+		"epinions": func() { EpinionsLike(EpinionsLikeParams{Nodes: 1}) },
+		"road":     func() { RoadNetwork(RoadNetworkParams{Rows: 1, Cols: 5}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: tiny size accepted", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

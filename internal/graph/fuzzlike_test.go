@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestReadTextNeverPanics feeds randomized junk (and near-valid mutations)
+// to the text parser: it must return an error or a valid graph, never
+// panic or loop.
+func TestReadTextNeverPanics(t *testing.T) {
+	words := []string{"directed", "undirected", "nodes", "a", "b", "1", "-1",
+		"1e308", "NaN", "#", "\t", "0.5", "99999999999", "x y z w"}
+	check := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on seed %d: %v", seed, r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		for i := 0; i < rng.Intn(30); i++ {
+			for j := 0; j < rng.Intn(5); j++ {
+				sb.WriteString(words[rng.Intn(len(words))])
+				sb.WriteByte(' ')
+			}
+			sb.WriteByte('\n')
+		}
+		g, err := ReadText(strings.NewReader(sb.String()))
+		if err == nil {
+			if verr := g.Validate(); verr != nil {
+				t.Logf("seed %d: parser accepted invalid graph: %v", seed, verr)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReadBinaryNeverPanics mutates valid binary payloads byte by byte:
+// every corruption must surface as an error, not a panic or a structurally
+// invalid graph.
+func TestReadBinaryNeverPanics(t *testing.T) {
+	b := NewBuilder(true)
+	b.EnsureNodes(8)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		b.MustAddEdge(int32(rng.Intn(8)), int32(rng.Intn(8)), rng.Float64())
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, b.Finalize()); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for trial := 0; trial < 400; trial++ {
+		mut := append([]byte(nil), valid...)
+		pos := rng.Intn(len(mut))
+		mut[pos] ^= byte(1 + rng.Intn(255))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutation at byte %d: %v", pos, r)
+				}
+			}()
+			g, err := ReadBinary(bytes.NewReader(mut))
+			if err == nil {
+				if verr := g.Validate(); verr != nil {
+					t.Fatalf("corrupt graph accepted (byte %d): %v", pos, verr)
+				}
+			}
+		}()
+	}
+}

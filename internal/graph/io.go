@@ -1,0 +1,351 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Text format
+//
+//	# comment lines and blank lines are ignored
+//	directed | undirected          (header, optional; default undirected)
+//	nodes <N>                      (optional; pre-sizes the id space)
+//	<u> <v> <w>                    (one edge per line)
+//
+// Endpoints are decimal ids when the `nodes` header is present, otherwise
+// arbitrary labels interned in first-seen order.
+
+// ReadText parses the text edge-list format.
+func ReadText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	b := NewBuilder(false)
+	headerDone := false
+	numeric := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if !headerDone {
+			switch fields[0] {
+			case "directed":
+				b = NewBuilder(true)
+				continue
+			case "undirected":
+				b = NewBuilder(false)
+				continue
+			case "nodes":
+				if len(fields) != 2 {
+					return nil, fmt.Errorf("line %d: nodes header wants one argument", lineNo)
+				}
+				n, err := strconv.Atoi(fields[1])
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("line %d: bad node count %q", lineNo, fields[1])
+				}
+				b.EnsureNodes(n)
+				numeric = true
+				headerDone = true
+				continue
+			}
+			headerDone = true
+		}
+		if fields[0] == "nodes" && len(fields) == 2 {
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("line %d: bad node count %q", lineNo, fields[1])
+			}
+			b.EnsureNodes(n)
+			numeric = true
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("line %d: want `u v w`, got %q", lineNo, line)
+		}
+		w, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad weight %q: %v", lineNo, fields[2], err)
+		}
+		var u, v NodeID
+		if numeric {
+			uu, err1 := strconv.Atoi(fields[0])
+			vv, err2 := strconv.Atoi(fields[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("line %d: bad numeric endpoint in %q", lineNo, line)
+			}
+			b.EnsureNodes(uu + 1)
+			b.EnsureNodes(vv + 1)
+			u, v = int32(uu), int32(vv)
+		} else {
+			u = b.AddLabeledNode(fields[0])
+			v = b.AddLabeledNode(fields[1])
+		}
+		if err := b.AddEdge(u, v, w); err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Finalize(), nil
+}
+
+// WriteText serializes g in the text edge-list format.
+func WriteText(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	dir := "undirected"
+	if g.Directed() {
+		dir = "directed"
+	}
+	if _, err := fmt.Fprintln(bw, dir); err != nil {
+		return err
+	}
+	if !g.HasLabels() {
+		if _, err := fmt.Fprintf(bw, "nodes %d\n", g.N()); err != nil {
+			return err
+		}
+	}
+	var werr error
+	g.Edges(func(e Edge) bool {
+		_, werr = fmt.Fprintf(bw, "%s %s %g\n", g.Label(e.From), g.Label(e.To), e.Weight)
+		return werr == nil
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+const binaryMagic = "RKGR1\n"
+
+// WriteBinary serializes g in a compact little-endian binary format. The
+// format stores the forward CSR only; transposes are rebuilt on load.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var flags uint32
+	if g.Directed() {
+		flags |= 1
+	}
+	if g.HasLabels() {
+		flags |= 2
+	}
+	hdr := []uint64{uint64(flags), uint64(g.N()), uint64(len(g.targets)), uint64(g.numEdges)}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for _, o := range g.offsets {
+		if err := binary.Write(bw, binary.LittleEndian, o); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.targets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.weights); err != nil {
+		return err
+	}
+	if g.HasLabels() {
+		for _, l := range g.labels {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(len(l))); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(l); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary format produced by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("bad magic %q", magic)
+	}
+	var hdr [4]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, err
+		}
+	}
+	flags, n, arcs, m := uint32(hdr[0]), int(hdr[1]), int(hdr[2]), int64(hdr[3])
+	if n < 0 || arcs < 0 || n > math.MaxInt32 {
+		return nil, fmt.Errorf("corrupt header: n=%d arcs=%d", n, arcs)
+	}
+	g := &Graph{directed: flags&1 != 0, numEdges: m}
+	var err error
+	// Counts come from untrusted input: grow buffers chunk by chunk so a
+	// corrupted header fails with a read error instead of a huge
+	// allocation.
+	if g.offsets, err = readInt64s(br, n+1); err != nil {
+		return nil, err
+	}
+	if g.targets, err = readInt32s(br, arcs); err != nil {
+		return nil, err
+	}
+	if g.weights, err = readFloat64s(br, arcs); err != nil {
+		return nil, err
+	}
+	if flags&2 != 0 {
+		g.labels = make([]string, n)
+		g.labelIdx = make(map[string]NodeID, n)
+		for i := 0; i < n; i++ {
+			var ln uint32
+			if err := binary.Read(br, binary.LittleEndian, &ln); err != nil {
+				return nil, err
+			}
+			if ln > maxLabelBytes {
+				return nil, fmt.Errorf("corrupt label length %d at node %d", ln, i)
+			}
+			buf := make([]byte, ln)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, err
+			}
+			g.labels[i] = string(buf)
+			g.labelIdx[g.labels[i]] = int32(i)
+		}
+	}
+	// Validate the forward CSR before deriving the transpose: corrupted
+	// offsets or out-of-range targets would otherwise index out of bounds
+	// while transposing.
+	if err := validateCSR(n, g.offsets, g.targets, g.weights); err != nil {
+		return nil, fmt.Errorf("corrupt graph: %w", err)
+	}
+	if g.directed {
+		g.toffsets, g.ttargets, g.tweights = transposeCSR(n, g.offsets, g.targets, g.weights)
+	} else {
+		g.toffsets, g.ttargets, g.tweights = g.offsets, g.targets, g.weights
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("corrupt graph: %w", err)
+	}
+	return g, nil
+}
+
+const (
+	// readChunkElems bounds how many elements are allocated per read step
+	// when the element count comes from an untrusted header.
+	readChunkElems = 1 << 16
+	// maxLabelBytes bounds a single label read from untrusted input.
+	maxLabelBytes = 1 << 20
+)
+
+func readInt64s(r io.Reader, n int) ([]int64, error) {
+	out := make([]int64, 0, min(n, readChunkElems))
+	for len(out) < n {
+		chunk := min(n-len(out), readChunkElems)
+		out = append(out, make([]int64, chunk)...)
+		if err := binary.Read(r, binary.LittleEndian, out[len(out)-chunk:]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func readInt32s(r io.Reader, n int) ([]int32, error) {
+	out := make([]int32, 0, min(n, readChunkElems))
+	for len(out) < n {
+		chunk := min(n-len(out), readChunkElems)
+		out = append(out, make([]int32, chunk)...)
+		if err := binary.Read(r, binary.LittleEndian, out[len(out)-chunk:]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func readFloat64s(r io.Reader, n int) ([]float64, error) {
+	out := make([]float64, 0, min(n, readChunkElems))
+	for len(out) < n {
+		chunk := min(n-len(out), readChunkElems)
+		out = append(out, make([]float64, chunk)...)
+		if err := binary.Read(r, binary.LittleEndian, out[len(out)-chunk:]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func transposeCSR(n int, offsets []int64, targets []int32, weights []float64) ([]int64, []int32, []float64) {
+	toff := make([]int64, n+1)
+	for _, v := range targets {
+		toff[v+1]++
+	}
+	for i := 0; i < n; i++ {
+		toff[i+1] += toff[i]
+	}
+	ttgt := make([]int32, len(targets))
+	twgt := make([]float64, len(weights))
+	next := make([]int64, n)
+	copy(next, toff[:n])
+	for u := 0; u < n; u++ {
+		for i := offsets[u]; i < offsets[u+1]; i++ {
+			v := targets[i]
+			j := next[v]
+			ttgt[j] = int32(u)
+			twgt[j] = weights[i]
+			next[v]++
+		}
+	}
+	for u := 0; u < n; u++ {
+		sortAdj(ttgt[toff[u]:toff[u+1]], twgt[toff[u]:toff[u+1]])
+	}
+	return toff, ttgt, twgt
+}
+
+// WriteFile writes g to path, choosing the binary format for a ".rkg"
+// extension and text otherwise.
+func WriteFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".rkg") {
+		if err := WriteBinary(f, g); err != nil {
+			return err
+		}
+	} else if err := WriteText(f, g); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a graph from path, dispatching on the ".rkg" extension.
+func ReadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".rkg") {
+		return ReadBinary(f)
+	}
+	return ReadText(f)
+}

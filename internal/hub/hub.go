@@ -1,0 +1,172 @@
+// Package hub implements the hub-selection strategies of Section 5.1 of the
+// paper: Random (baseline), Degree First (highest out-degree), and
+// Closeness First (highest approximate closeness centrality, estimated by
+// sampling as in Eppstein-Wang / the paper's reference [1]).
+package hub
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"rkranks/internal/graph"
+	"rkranks/internal/sssp"
+)
+
+// Strategy identifies a hub-selection heuristic.
+type Strategy int
+
+const (
+	// Random selects hubs uniformly at random (the paper's baseline).
+	Random Strategy = iota
+	// DegreeFirst selects the nodes with the highest out-degree.
+	DegreeFirst
+	// ClosenessFirst selects the nodes with the highest approximate
+	// closeness centrality.
+	ClosenessFirst
+)
+
+// ParseStrategy maps a user-facing name to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "random":
+		return Random, nil
+	case "degree":
+		return DegreeFirst, nil
+	case "closeness":
+		return ClosenessFirst, nil
+	}
+	return 0, fmt.Errorf("hub: unknown strategy %q (want random|degree|closeness)", name)
+}
+
+// String returns the canonical strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case Random:
+		return "random"
+	case DegreeFirst:
+		return "degree"
+	case ClosenessFirst:
+		return "closeness"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Options tunes Select.
+type Options struct {
+	// Samples is the number of SSSP sources used to approximate closeness
+	// centrality; 0 picks a default that grows slowly with graph size.
+	Samples int
+	// Seed drives all randomness (sampling and Random strategy).
+	Seed int64
+}
+
+// Select returns h hub nodes chosen by the given strategy, sorted by id.
+// h is clamped to the node count.
+func Select(g *graph.Graph, s Strategy, h int, opts Options) []int32 {
+	n := g.N()
+	if h > n {
+		h = n
+	}
+	if h <= 0 {
+		return nil
+	}
+	var hubs []int32
+	switch s {
+	case Random:
+		hubs = randomHubs(n, h, opts.Seed)
+	case DegreeFirst:
+		hubs = topBy(n, h, func(v int32) float64 { return float64(g.OutDegree(v)) })
+	case ClosenessFirst:
+		hubs = topBy(n, h, closenessScores(g, opts))
+	default:
+		panic(fmt.Sprintf("hub: unknown strategy %d", s))
+	}
+	sort.Slice(hubs, func(i, j int) bool { return hubs[i] < hubs[j] })
+	return hubs
+}
+
+func randomHubs(n, h int, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	hubs := make([]int32, h)
+	for i := 0; i < h; i++ {
+		hubs[i] = int32(perm[i])
+	}
+	return hubs
+}
+
+// topBy returns the h nodes with the highest score, breaking ties toward
+// smaller ids for determinism.
+func topBy(n, h int, score func(int32) float64) []int32 {
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		si, sj := score(ids[i]), score(ids[j])
+		if si != sj {
+			return si > sj
+		}
+		return ids[i] < ids[j]
+	})
+	return append([]int32(nil), ids[:h]...)
+}
+
+// closenessScores estimates closeness centrality C(v) = 1 / sum_u d(u, v)
+// by running full SSSPs from a small random sample of sources and summing
+// the observed distances per target. Unreached targets are penalized with
+// the largest finite distance seen, so disconnected fringe nodes score low.
+func closenessScores(g *graph.Graph, opts Options) func(int32) float64 {
+	n := g.N()
+	samples := opts.Samples
+	if samples <= 0 {
+		samples = defaultSamples(n)
+	}
+	if samples > n {
+		samples = n
+	}
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5eed))
+	perm := rng.Perm(n)
+
+	farness := make([]float64, n)
+	dist := make([]float64, n)
+	s := sssp.New(g)
+	for i := 0; i < samples; i++ {
+		src := int32(perm[i])
+		sssp.AllDistances(s, src, dist)
+		maxFinite := 0.0
+		for _, d := range dist {
+			if !math.IsInf(d, 1) && d > maxFinite {
+				maxFinite = d
+			}
+		}
+		penalty := 2 * (maxFinite + 1)
+		for v := 0; v < n; v++ {
+			d := dist[v]
+			if math.IsInf(d, 1) {
+				d = penalty
+			}
+			farness[v] += d
+		}
+	}
+	return func(v int32) float64 {
+		f := farness[v]
+		if f <= 0 {
+			return math.Inf(1) // isolated sample set; arbitrary high score
+		}
+		return 1 / f
+	}
+}
+
+func defaultSamples(n int) int {
+	switch {
+	case n <= 64:
+		return n
+	case n <= 4096:
+		return 32
+	default:
+		return 16
+	}
+}

@@ -1,0 +1,143 @@
+package hub
+
+import (
+	"testing"
+
+	"rkranks/internal/gen"
+	"rkranks/internal/graph"
+	tg "rkranks/internal/testgraphs"
+)
+
+func assertValidHubSet(t *testing.T, hubs []int32, h, n int) {
+	t.Helper()
+	if len(hubs) != h {
+		t.Fatalf("got %d hubs, want %d", len(hubs), h)
+	}
+	seen := map[int32]bool{}
+	for i, v := range hubs {
+		if v < 0 || int(v) >= n {
+			t.Fatalf("hub %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate hub %d", v)
+		}
+		seen[v] = true
+		if i > 0 && hubs[i-1] >= v {
+			t.Fatalf("hubs not sorted: %v", hubs)
+		}
+	}
+}
+
+func TestRandomHubs(t *testing.T) {
+	g := gen.GNM(50, 100, false, 1)
+	hubs := Select(g, Random, 10, Options{Seed: 3})
+	assertValidHubSet(t, hubs, 10, 50)
+	again := Select(g, Random, 10, Options{Seed: 3})
+	for i := range hubs {
+		if hubs[i] != again[i] {
+			t.Fatal("random selection not deterministic for a fixed seed")
+		}
+	}
+	other := Select(g, Random, 10, Options{Seed: 4})
+	same := true
+	for i := range hubs {
+		if hubs[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical hub sets")
+	}
+}
+
+func TestDegreeFirstPicksHighestDegrees(t *testing.T) {
+	// Star: node 0 has degree 5, spokes degree 1.
+	g := tg.Star([]float64{1, 1, 1, 1, 1})
+	hubs := Select(g, DegreeFirst, 1, Options{})
+	if len(hubs) != 1 || hubs[0] != 0 {
+		t.Fatalf("hubs = %v, want [0]", hubs)
+	}
+	// Ties break toward smaller ids.
+	hubs = Select(g, DegreeFirst, 3, Options{})
+	assertValidHubSet(t, hubs, 3, g.N())
+	if hubs[0] != 0 || hubs[1] != 1 || hubs[2] != 2 {
+		t.Errorf("tie-break order: %v", hubs)
+	}
+}
+
+func TestClosenessFirstPicksCenter(t *testing.T) {
+	// Path 0-1-2-3-4: node 2 has minimum farness.
+	g := tg.Path(5)
+	hubs := Select(g, ClosenessFirst, 1, Options{Samples: 5})
+	if len(hubs) != 1 || hubs[0] != 2 {
+		t.Fatalf("closeness hub = %v, want [2]", hubs)
+	}
+}
+
+func TestClosenessHandlesDisconnected(t *testing.T) {
+	b := graph.NewBuilder(false)
+	b.EnsureNodes(6)
+	b.MustAddEdge(0, 1, 1)
+	b.MustAddEdge(1, 2, 1)
+	// 3,4,5 isolated
+	g := b.Finalize()
+	hubs := Select(g, ClosenessFirst, 2, Options{Samples: 6})
+	assertValidHubSet(t, hubs, 2, 6)
+	for _, h := range hubs {
+		if h > 2 {
+			t.Errorf("isolated node %d chosen over connected ones", h)
+		}
+	}
+}
+
+func TestSelectClamps(t *testing.T) {
+	g := tg.Path(4)
+	hubs := Select(g, Random, 100, Options{})
+	if len(hubs) != 4 {
+		t.Errorf("clamp failed: %d hubs", len(hubs))
+	}
+	if hubs := Select(g, Random, 0, Options{}); hubs != nil {
+		t.Errorf("h=0 returned %v", hubs)
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for name, want := range map[string]Strategy{
+		"random": Random, "degree": DegreeFirst, "closeness": ClosenessFirst,
+	} {
+		got, err := ParseStrategy(name)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %v, %v", name, got, err)
+		}
+		if got.String() != name {
+			t.Errorf("String() = %q, want %q", got.String(), name)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+	if s := Strategy(99).String(); s == "" {
+		t.Error("unknown strategy has empty String")
+	}
+}
+
+func TestDefaultSamplesScaling(t *testing.T) {
+	if defaultSamples(10) != 10 {
+		t.Error("tiny graphs should sample everything")
+	}
+	if s := defaultSamples(1000); s != 32 {
+		t.Errorf("mid-size samples = %d", s)
+	}
+	if s := defaultSamples(1e6); s != 16 {
+		t.Errorf("large samples = %d", s)
+	}
+}
+
+func TestDegreeFirstOnDirected(t *testing.T) {
+	g := tg.Cycle(5) // every node has out-degree 1
+	hubs := Select(g, DegreeFirst, 2, Options{})
+	assertValidHubSet(t, hubs, 2, 5)
+	if hubs[0] != 0 || hubs[1] != 1 {
+		t.Errorf("uniform-degree tie-break: %v", hubs)
+	}
+}

@@ -1,0 +1,189 @@
+package ppr
+
+import (
+	"math"
+	"testing"
+
+	"rkranks/internal/gen"
+	"rkranks/internal/graph"
+	"rkranks/internal/rank"
+	tg "rkranks/internal/testgraphs"
+)
+
+var testParams = Params{Alpha: 0.15}
+
+func TestScoresAreADistribution(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		tg.Toy(),
+		tg.Cycle(6),
+		gen.GNM(40, 120, true, 3),
+		gen.GNM(40, 20, false, 4), // disconnected
+	} {
+		for src := int32(0); int(src) < g.N(); src += 7 {
+			scores, err := Scores(g, src, testParams)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum float64
+			for _, s := range scores {
+				if s < -1e-12 {
+					t.Fatalf("negative score %g", s)
+				}
+				sum += s
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				t.Fatalf("scores sum to %g, want 1", sum)
+			}
+			if scores[src] <= 0 {
+				t.Fatal("source has no mass")
+			}
+		}
+	}
+}
+
+func TestScoresLocality(t *testing.T) {
+	// On a path, PPR mass decays with hop distance from the source.
+	g := tg.Path(6)
+	scores, err := Scores(g, 0, testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 5; v++ {
+		if scores[v] <= scores[v+1] {
+			t.Errorf("mass does not decay: score[%d]=%g <= score[%d]=%g",
+				v, scores[v], v+1, scores[v+1])
+		}
+	}
+}
+
+func TestScoresDangling(t *testing.T) {
+	// Directed edge into a sink: the sink's mass must teleport home, and
+	// the vector stays a distribution.
+	b := graph.NewBuilder(true)
+	b.EnsureNodes(3)
+	b.MustAddEdge(0, 1, 1)
+	b.MustAddEdge(0, 2, 1)
+	g := b.Finalize()
+	scores, err := Scores(g, 0, testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := scores[0] + scores[1] + scores[2]
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("sum = %g", sum)
+	}
+	if math.Abs(scores[1]-scores[2]) > 1e-9 {
+		t.Errorf("symmetric sinks differ: %g vs %g", scores[1], scores[2])
+	}
+}
+
+func TestRankBasics(t *testing.T) {
+	g := tg.Path(4)
+	if r, err := Rank(g, 1, 1, testParams); err != nil || r != 0 {
+		t.Errorf("self rank = %d, %v", r, err)
+	}
+	r, err := Rank(g, 0, 1, testParams)
+	if err != nil || r != 1 {
+		t.Errorf("Rank(0,1) = %d, %v; want 1", r, err)
+	}
+	r, err = Rank(g, 0, 3, testParams)
+	if err != nil || r != 3 {
+		t.Errorf("Rank(0,3) = %d, %v; want 3", r, err)
+	}
+}
+
+func TestRankUnreachable(t *testing.T) {
+	b := graph.NewBuilder(true)
+	b.EnsureNodes(3)
+	b.MustAddEdge(0, 1, 1)
+	g := b.Finalize()
+	r, err := Rank(g, 1, 0, testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != rank.Unreachable {
+		t.Errorf("rank against the arrow = %d, want Unreachable", r)
+	}
+}
+
+func TestReverseKRanksFixedSize(t *testing.T) {
+	g := gen.DBLPLike(gen.DBLPLikeParams{Nodes: 60, AttachPerNode: 3, Seed: 5})
+	for _, k := range []int{1, 3, 7} {
+		res, err := ReverseKRanks(g, 10, k, testParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != k {
+			t.Fatalf("k=%d returned %d entries", k, len(res))
+		}
+		for i := 1; i < len(res); i++ {
+			if res[i-1].Rank > res[i].Rank {
+				t.Fatal("results out of order")
+			}
+		}
+		// Each reported rank must be truthful.
+		for _, e := range res {
+			truth, err := Rank(g, e.Node, 10, testParams)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if truth != e.Rank {
+				t.Errorf("entry %v, truth %d", e, truth)
+			}
+		}
+	}
+}
+
+func TestReverseKRanksDiffersFromShortestPath(t *testing.T) {
+	// PPR favors structurally central nodes; shortest-path ranks favor
+	// pure distance. On a weighted star + chain they can disagree — the
+	// point of the future-work extension.
+	g := gen.DBLPLike(gen.DBLPLikeParams{Nodes: 80, AttachPerNode: 3, Seed: 9})
+	pprRes, err := ReverseKRanks(g, 40, 5, testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spRes := rank.BruteForceReverse(g, 40, 5)
+	if len(pprRes) != 5 || len(spRes) != 5 {
+		t.Fatalf("sizes %d/%d", len(pprRes), len(spRes))
+	}
+	// Not asserting inequality node-by-node (they can coincide on easy
+	// queries); assert both are valid and log the comparison.
+	t.Logf("ppr: %v", pprRes)
+	t.Logf("sp:  %v", spRes)
+}
+
+func TestTopKPPR(t *testing.T) {
+	g := tg.Path(5)
+	res, err := TopK(g, 0, 3, testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 || res[0].Node != 1 || res[0].Rank != 1 {
+		t.Fatalf("TopK = %v", res)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Rank < res[i-1].Rank {
+			t.Fatal("ranks not nondecreasing")
+		}
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	g := tg.Path(3)
+	if _, err := Scores(g, 0, Params{Alpha: 0}); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := Scores(g, 0, Params{Alpha: 1}); err == nil {
+		t.Error("alpha=1 accepted")
+	}
+	if _, err := Scores(g, 9, testParams); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := ReverseKRanks(g, 0, 0, testParams); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := ReverseKRanks(g, 9, 1, testParams); err == nil {
+		t.Error("bad query accepted")
+	}
+}

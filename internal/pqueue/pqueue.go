@@ -1,0 +1,159 @@
+// Package pqueue implements an indexed binary min-heap over dense int32
+// node ids with float64 priorities and decrease-key support.
+//
+// The queue is built once per graph size and reused across queries: Reset is
+// O(1) thanks to epoch-stamped bookkeeping, so a query touching t nodes
+// costs O(t log t) regardless of the graph size. This matters for the
+// reverse k-ranks engines, which run thousands of small partial Dijkstra
+// searches over multi-million-node graphs.
+package pqueue
+
+// Queue is an indexed min-heap. The zero value is unusable; call New.
+// Queues are not safe for concurrent use.
+type Queue struct {
+	prio  []float64
+	heap  []int32
+	pos   []int32 // heap slot of a node, or popped/absent (see stamp)
+	stamp []uint32
+	epoch uint32
+}
+
+const popped = int32(-1)
+
+// New returns a queue over node ids [0, n).
+func New(n int) *Queue {
+	return &Queue{
+		prio:  make([]float64, n),
+		heap:  make([]int32, 0, 64),
+		pos:   make([]int32, n),
+		stamp: make([]uint32, n),
+	}
+}
+
+// Grow widens the id space to at least n, preserving current contents.
+func (q *Queue) Grow(n int) {
+	if n <= len(q.pos) {
+		return
+	}
+	prio := make([]float64, n)
+	copy(prio, q.prio)
+	pos := make([]int32, n)
+	copy(pos, q.pos)
+	stamp := make([]uint32, n)
+	copy(stamp, q.stamp)
+	q.prio, q.pos, q.stamp = prio, pos, stamp
+}
+
+// Cap returns the size of the id space.
+func (q *Queue) Cap() int { return len(q.pos) }
+
+// Reset empties the queue in O(1).
+func (q *Queue) Reset() {
+	q.heap = q.heap[:0]
+	q.epoch++
+	if q.epoch == 0 { // epoch wrapped: clear stamps for safety
+		for i := range q.stamp {
+			q.stamp[i] = 0
+		}
+		q.epoch = 1
+	}
+}
+
+// Len returns the number of queued nodes.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Contains reports whether v is currently queued (pushed and not popped).
+func (q *Queue) Contains(v int32) bool {
+	return q.stamp[v] == q.epoch && q.pos[v] != popped
+}
+
+// Seen reports whether v was pushed at any point since the last Reset,
+// whether or not it has been popped.
+func (q *Queue) Seen(v int32) bool { return q.stamp[v] == q.epoch }
+
+// Priority returns the current priority of a queued node v. If v was popped
+// it returns the priority it was popped with. The result is unspecified
+// when !Seen(v).
+func (q *Queue) Priority(v int32) float64 { return q.prio[v] }
+
+// Push inserts v with priority p, or lowers v's priority to p when v is
+// already queued with a higher priority. It reports whether the queue
+// changed (false when v is queued with priority <= p, or already popped).
+func (q *Queue) Push(v int32, p float64) bool {
+	if q.stamp[v] != q.epoch {
+		q.stamp[v] = q.epoch
+		q.prio[v] = p
+		q.pos[v] = int32(len(q.heap))
+		q.heap = append(q.heap, v)
+		q.up(len(q.heap) - 1)
+		return true
+	}
+	if q.pos[v] == popped || q.prio[v] <= p {
+		return false
+	}
+	q.prio[v] = p
+	q.up(int(q.pos[v]))
+	return true
+}
+
+// PopMin removes and returns the queued node with the smallest priority,
+// breaking ties toward the smaller node id for determinism.
+func (q *Queue) PopMin() (int32, float64) {
+	v := q.heap[0]
+	p := q.prio[v]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.pos[q.heap[0]] = 0
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	q.pos[v] = popped
+	return v, p
+}
+
+func (q *Queue) less(a, b int32) bool {
+	pa, pb := q.prio[a], q.prio[b]
+	if pa != pb {
+		return pa < pb
+	}
+	return a < b
+}
+
+func (q *Queue) up(i int) {
+	node := q.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(node, q.heap[parent]) {
+			break
+		}
+		q.heap[i] = q.heap[parent]
+		q.pos[q.heap[i]] = int32(i)
+		i = parent
+	}
+	q.heap[i] = node
+	q.pos[node] = int32(i)
+}
+
+func (q *Queue) down(i int) {
+	node := q.heap[i]
+	n := len(q.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && q.less(q.heap[r], q.heap[l]) {
+			child = r
+		}
+		if !q.less(q.heap[child], node) {
+			break
+		}
+		q.heap[i] = q.heap[child]
+		q.pos[q.heap[i]] = int32(i)
+		i = child
+	}
+	q.heap[i] = node
+	q.pos[node] = int32(i)
+}

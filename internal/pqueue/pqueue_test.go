@@ -1,0 +1,221 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopOrdering(t *testing.T) {
+	q := New(10)
+	q.Reset()
+	q.Push(3, 2.5)
+	q.Push(7, 0.5)
+	q.Push(1, 1.5)
+	wantOrder := []int32{7, 1, 3}
+	wantPrio := []float64{0.5, 1.5, 2.5}
+	for i := range wantOrder {
+		v, p := q.PopMin()
+		if v != wantOrder[i] || p != wantPrio[i] {
+			t.Fatalf("pop %d = (%d,%g), want (%d,%g)", i, v, p, wantOrder[i], wantPrio[i])
+		}
+	}
+	if q.Len() != 0 {
+		t.Error("queue not empty")
+	}
+}
+
+func TestDecreaseKey(t *testing.T) {
+	q := New(5)
+	q.Reset()
+	q.Push(0, 10)
+	q.Push(1, 5)
+	if !q.Push(0, 1) {
+		t.Fatal("decrease-key rejected")
+	}
+	if q.Push(0, 3) {
+		t.Error("increase accepted")
+	}
+	v, p := q.PopMin()
+	if v != 0 || p != 1 {
+		t.Fatalf("pop = (%d,%g), want (0,1)", v, p)
+	}
+}
+
+func TestPushAfterPopIgnored(t *testing.T) {
+	q := New(5)
+	q.Reset()
+	q.Push(2, 1)
+	q.PopMin()
+	if q.Push(2, 0.1) {
+		t.Error("re-push of settled node accepted")
+	}
+	if q.Contains(2) {
+		t.Error("settled node reported queued")
+	}
+	if !q.Seen(2) {
+		t.Error("settled node not seen")
+	}
+}
+
+func TestTieBreakByID(t *testing.T) {
+	q := New(10)
+	q.Reset()
+	q.Push(9, 1)
+	q.Push(2, 1)
+	q.Push(5, 1)
+	want := []int32{2, 5, 9}
+	for _, w := range want {
+		if v, _ := q.PopMin(); v != w {
+			t.Fatalf("tie order broke: got %d want %d", v, w)
+		}
+	}
+}
+
+func TestResetIsolation(t *testing.T) {
+	q := New(4)
+	q.Reset()
+	q.Push(0, 1)
+	q.Push(1, 2)
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatal("reset left entries")
+	}
+	if q.Seen(0) || q.Contains(1) {
+		t.Error("stale state visible after reset")
+	}
+	q.Push(1, 9)
+	if p := q.Priority(1); p != 9 {
+		t.Errorf("priority %g after reset, want 9", p)
+	}
+}
+
+func TestEpochWraparound(t *testing.T) {
+	q := New(3)
+	q.epoch = ^uint32(0) - 1 // force the wrap path
+	q.Reset()
+	q.Push(0, 1)
+	q.Reset() // wraps to 0 -> must clear stamps and restart at 1
+	if q.Seen(0) {
+		t.Error("stale Seen after epoch wrap")
+	}
+	q.Push(0, 2)
+	if v, p := q.PopMin(); v != 0 || p != 2 {
+		t.Errorf("post-wrap pop = (%d,%g)", v, p)
+	}
+}
+
+func TestGrow(t *testing.T) {
+	q := New(2)
+	q.Reset()
+	q.Push(1, 5)
+	q.Grow(10)
+	if q.Cap() != 10 {
+		t.Fatalf("Cap = %d", q.Cap())
+	}
+	q.Push(9, 1)
+	if v, _ := q.PopMin(); v != 9 {
+		t.Errorf("pop after grow = %d, want 9", v)
+	}
+	if v, _ := q.PopMin(); v != 1 {
+		t.Errorf("pre-grow entry lost")
+	}
+	q.Grow(5) // shrink request is a no-op
+	if q.Cap() != 10 {
+		t.Error("Grow shrank the queue")
+	}
+}
+
+// TestAgainstSortReference is a property test: any push/decrease sequence
+// must pop in exactly the order of the final priorities with id tie-break.
+func TestAgainstSortReference(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		q := New(n)
+		q.Reset()
+		final := map[int32]float64{}
+		ops := rng.Intn(200)
+		for i := 0; i < ops; i++ {
+			v := int32(rng.Intn(n))
+			p := float64(rng.Intn(50)) / 4
+			if cur, ok := final[v]; !ok || p < cur {
+				if q.Push(v, p) {
+					final[v] = p
+				}
+			} else {
+				q.Push(v, p) // should be a no-op
+			}
+		}
+		type pair struct {
+			v int32
+			p float64
+		}
+		var want []pair
+		for v, p := range final {
+			want = append(want, pair{v, p})
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].p != want[j].p {
+				return want[i].p < want[j].p
+			}
+			return want[i].v < want[j].v
+		})
+		if q.Len() != len(want) {
+			return false
+		}
+		for _, w := range want {
+			v, p := q.PopMin()
+			if v != w.v || p != w.p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInterleavedPopPush mixes pops into the stream, mirroring Dijkstra's
+// access pattern, and verifies the pop sequence is globally nondecreasing.
+func TestInterleavedPopPush(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	q := New(500)
+	for trial := 0; trial < 20; trial++ {
+		q.Reset()
+		last := -1.0
+		pops := 0
+		for i := 0; i < 400; i++ {
+			if q.Len() > 0 && rng.Intn(3) == 0 {
+				_, p := q.PopMin()
+				// Dijkstra property requires monotone pops only when new
+				// priorities are >= the last pop; enforce that in pushes.
+				if p < last {
+					t.Fatalf("pop went backwards: %g after %g", p, last)
+				}
+				last = p
+				pops++
+				continue
+			}
+			v := int32(rng.Intn(500))
+			base := last
+			if base < 0 {
+				base = 0
+			}
+			q.Push(v, base+rng.Float64())
+		}
+		_ = pops
+	}
+}
+
+func TestPriorityOfPopped(t *testing.T) {
+	q := New(3)
+	q.Reset()
+	q.Push(1, 4.5)
+	q.PopMin()
+	if p := q.Priority(1); p != 4.5 {
+		t.Errorf("popped priority = %g, want 4.5", p)
+	}
+}

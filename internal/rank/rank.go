@@ -1,0 +1,212 @@
+// Package rank computes graph ranks per Definition 1 of the paper:
+// Rank(s, t) = 1 + |{p : d(s, p) < d(s, t)}| — the position of t in s's
+// list of nodes ordered by shortest-path distance, with equidistant nodes
+// sharing a rank.
+//
+// The functions here are exact and unbounded; they serve as the reference
+// oracle for the optimized engines in internal/core and as the substrate
+// for the effectiveness analytics of Section 6.2.
+package rank
+
+import (
+	"math"
+	"sort"
+
+	"rkranks/internal/graph"
+	"rkranks/internal/sssp"
+)
+
+// Unreachable is the rank reported when no path exists.
+const Unreachable = int32(math.MaxInt32)
+
+// Of computes Rank(src, dst) exactly by running Dijkstra from src until dst
+// settles. It returns Unreachable when dst cannot be reached. Rank(s, s)
+// is 0 by convention (a node does not rank itself).
+func Of(s *sssp.Search, src, dst int32) int32 {
+	if src == dst {
+		return 0
+	}
+	s.Reset(src)
+	strictBelow := 0
+	settledOthers := 0
+	level := math.Inf(-1)
+	for {
+		v, d, ok := s.Next()
+		if !ok {
+			return Unreachable
+		}
+		if v == src {
+			continue
+		}
+		if d > level {
+			strictBelow = settledOthers
+			level = d
+		}
+		if v == dst {
+			return int32(strictBelow + 1)
+		}
+		settledOthers++
+	}
+}
+
+// OfBounded computes Rank(src, dst) like Of but aborts as soon as the rank
+// provably exceeds maxRank, returning (bound, false) where bound is a
+// certified lower bound. When maxDist is finite it also bounds queue pushes
+// (callers that know d(src, dst) up front, e.g. from an SDS-tree pop, pass
+// it to shrink the frontier).
+func OfBounded(s *sssp.Search, src, dst int32, maxRank int32, maxDist float64) (r int32, exact bool) {
+	if src == dst {
+		return 0, true
+	}
+	s.Reset(src)
+	strictBelow := int32(0)
+	settledOthers := int32(0)
+	level := math.Inf(-1)
+	for {
+		v, d, ok := s.Pop()
+		if !ok {
+			return Unreachable, false
+		}
+		if v == src {
+			s.ExpandBounded(v, d, maxDist)
+			continue
+		}
+		if d > level {
+			strictBelow = settledOthers
+			level = d
+		}
+		if v == dst {
+			return strictBelow + 1, true
+		}
+		settledOthers++
+		if strictBelow >= maxRank {
+			return strictBelow + 1, false
+		}
+		s.ExpandBounded(v, d, maxDist)
+	}
+}
+
+// OfBoundedIn is OfBounded restricted to a counted node class (Definition
+// 3): only nodes with counted[v] == true contribute to the rank. A nil
+// class counts every node, making it identical to OfBounded. dst should
+// belong to the counted class (its own settle always terminates the
+// search).
+func OfBoundedIn(s *sssp.Search, src, dst int32, maxRank int32, maxDist float64, counted []bool) (r int32, exact bool) {
+	if counted == nil {
+		return OfBounded(s, src, dst, maxRank, maxDist)
+	}
+	if src == dst {
+		return 0, true
+	}
+	s.Reset(src)
+	strictBelow := int32(0)
+	settledCounted := int32(0)
+	level := math.Inf(-1)
+	for {
+		v, d, ok := s.Pop()
+		if !ok {
+			return Unreachable, false
+		}
+		if v == src {
+			s.ExpandBounded(v, d, maxDist)
+			continue
+		}
+		if counted[v] || v == dst {
+			if d > level {
+				strictBelow = settledCounted
+				level = d
+			}
+			if v == dst {
+				return strictBelow + 1, true
+			}
+			settledCounted++
+			if strictBelow >= maxRank {
+				return strictBelow + 1, false
+			}
+		}
+		s.ExpandBounded(v, d, maxDist)
+	}
+}
+
+// Entry pairs a node with a rank value.
+type Entry struct {
+	Node int32
+	Rank int32
+}
+
+// Matrix computes the full |V|×|V| rank matrix: m[s][t] = Rank(s, t), with
+// 0 on the diagonal and Unreachable where no path exists. Intended for
+// small graphs (tests and analytics); cost is O(|V| · SSSP).
+func Matrix(g *graph.Graph) [][]int32 {
+	n := g.N()
+	m := make([][]int32, n)
+	s := sssp.New(g)
+	dist := make([]float64, n)
+	order := make([]int32, 0, n)
+	for src := 0; src < n; src++ {
+		row := make([]int32, n)
+		sssp.AllDistances(s, int32(src), dist)
+		order = order[:0]
+		for v := 0; v < n; v++ {
+			if v != src && !math.IsInf(dist[v], 1) {
+				order = append(order, int32(v))
+			} else if v != src {
+				row[v] = Unreachable
+			}
+		}
+		sort.Slice(order, func(i, j int) bool {
+			di, dj := dist[order[i]], dist[order[j]]
+			if di != dj {
+				return di < dj
+			}
+			return order[i] < order[j]
+		})
+		strictBelow := 0
+		level := math.Inf(-1)
+		for i, v := range order {
+			if dist[v] > level {
+				strictBelow = i
+				level = dist[v]
+			}
+			row[v] = int32(strictBelow + 1)
+		}
+		m[src] = row
+	}
+	return m
+}
+
+// BruteForceReverse computes the exact reverse k-ranks result for q by
+// evaluating Rank(p, q) for every node p. It is the correctness oracle the
+// optimized engines are tested against. Results are the k reachable nodes
+// with the smallest ranks, ordered by (rank, node id); fewer than k entries
+// are returned when fewer than k nodes can reach q.
+func BruteForceReverse(g *graph.Graph, q int32, k int) []Entry {
+	s := sssp.New(g)
+	all := make([]Entry, 0, g.N())
+	for p := 0; p < g.N(); p++ {
+		if int32(p) == q {
+			continue
+		}
+		r := Of(s, int32(p), q)
+		if r == Unreachable {
+			continue
+		}
+		all = append(all, Entry{Node: int32(p), Rank: r})
+	}
+	SortEntries(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// SortEntries orders entries by (rank, node id), the canonical result order
+// used across all engines.
+func SortEntries(es []Entry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Rank != es[j].Rank {
+			return es[i].Rank < es[j].Rank
+		}
+		return es[i].Node < es[j].Node
+	})
+}

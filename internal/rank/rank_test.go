@@ -1,0 +1,207 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rkranks/internal/gen"
+	"rkranks/internal/graph"
+	"rkranks/internal/sssp"
+	tg "rkranks/internal/testgraphs"
+)
+
+func TestOfMatchesToyTable(t *testing.T) {
+	g := tg.Toy()
+	s := sssp.New(g)
+	for src := range tg.ToyRankMatrix {
+		for dst, want := range tg.ToyRankMatrix[src] {
+			if got := Of(s, int32(src), int32(dst)); got != want {
+				t.Errorf("Rank(%s,%s) = %d, want %d", tg.ToyNames[src], tg.ToyNames[dst], got, want)
+			}
+		}
+	}
+}
+
+func TestOfSelfIsZero(t *testing.T) {
+	g := tg.Path(3)
+	s := sssp.New(g)
+	if r := Of(s, 1, 1); r != 0 {
+		t.Errorf("Rank(v,v) = %d", r)
+	}
+}
+
+func TestOfUnreachable(t *testing.T) {
+	b := graph.NewBuilder(false)
+	b.EnsureNodes(4)
+	b.MustAddEdge(0, 1, 1)
+	b.MustAddEdge(2, 3, 1)
+	g := b.Finalize()
+	s := sssp.New(g)
+	if r := Of(s, 0, 3); r != Unreachable {
+		t.Errorf("cross-component rank = %d", r)
+	}
+}
+
+func TestOfDirectedAsymmetry(t *testing.T) {
+	g := tg.Cycle(5)
+	s := sssp.New(g)
+	// From 0, node 1 is nearest (rank 1); from 1, node 0 is farthest.
+	if r := Of(s, 0, 1); r != 1 {
+		t.Errorf("Rank(0,1) = %d", r)
+	}
+	if r := Of(s, 1, 0); r != 4 {
+		t.Errorf("Rank(1,0) = %d", r)
+	}
+}
+
+func TestTiesShareRank(t *testing.T) {
+	g := tg.Star([]float64{1, 1, 1, 5})
+	s := sssp.New(g)
+	for _, spoke := range []int32{1, 2, 3} {
+		if r := Of(s, 0, spoke); r != 1 {
+			t.Errorf("Rank(0,%d) = %d, want 1 (tie)", spoke, r)
+		}
+	}
+	if r := Of(s, 0, 4); r != 4 {
+		t.Errorf("Rank(0,4) = %d, want 4", r)
+	}
+}
+
+// TestMatrixAgreesWithOf: the batch matrix and per-pair computation must be
+// identical on arbitrary graphs (including tie-heavy integer weights).
+func TestMatrixAgreesWithOf(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(16)
+		b := graph.NewBuilder(rng.Intn(2) == 0)
+		b.EnsureNodes(n)
+		for i := 0; i < 3*n; i++ {
+			// Integer weights force plenty of ties.
+			b.MustAddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)), float64(1+rng.Intn(3)))
+		}
+		g := b.Finalize()
+		m := Matrix(g)
+		s := sssp.New(g)
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if m[src][dst] != Of(s, int32(src), int32(dst)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOfBoundedExactWhenUnderBound(t *testing.T) {
+	g := tg.Toy()
+	s := sssp.New(g)
+	for src := range tg.ToyRankMatrix {
+		for dst, want := range tg.ToyRankMatrix[src] {
+			if src == dst {
+				continue
+			}
+			r, exact := OfBounded(s, int32(src), int32(dst), 100, math.Inf(1))
+			if !exact || r != want {
+				t.Errorf("OfBounded(%d,%d) = %d/%v, want %d/true", src, dst, r, exact, want)
+			}
+		}
+	}
+}
+
+func TestOfBoundedAbortIsLowerBound(t *testing.T) {
+	g := gen.GNM(50, 200, false, 4)
+	s := sssp.New(g)
+	for src := int32(0); src < 50; src += 5 {
+		for dst := int32(1); dst < 50; dst += 7 {
+			if src == dst {
+				continue
+			}
+			truth := Of(s, src, dst)
+			for _, maxRank := range []int32{1, 3, 10} {
+				r, exact := OfBounded(s, src, dst, maxRank, math.Inf(1))
+				if exact {
+					if r != truth {
+						t.Fatalf("exact mismatch: %d vs %d", r, truth)
+					}
+					if truth > maxRank+1 {
+						t.Fatalf("claimed exact %d beyond abort bound %d", truth, maxRank)
+					}
+				} else if truth != Unreachable {
+					if r > truth {
+						t.Fatalf("abort bound %d exceeds truth %d", r, truth)
+					}
+					if truth <= maxRank {
+						t.Fatalf("aborted although truth %d <= maxRank %d", truth, maxRank)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOfBoundedSelf(t *testing.T) {
+	g := tg.Path(3)
+	s := sssp.New(g)
+	if r, exact := OfBounded(s, 1, 1, 5, math.Inf(1)); r != 0 || !exact {
+		t.Errorf("OfBounded self = %d/%v", r, exact)
+	}
+}
+
+func TestBruteForceReverseProperties(t *testing.T) {
+	g := gen.GNM(40, 120, true, 8)
+	s := sssp.New(g)
+	for q := int32(0); q < 40; q += 5 {
+		res := BruteForceReverse(g, q, 7)
+		if len(res) > 7 {
+			t.Fatalf("size %d", len(res))
+		}
+		for i, e := range res {
+			if e.Node == q {
+				t.Error("query node in its own result")
+			}
+			if Of(s, e.Node, q) != e.Rank {
+				t.Errorf("oracle rank lies: %v", e)
+			}
+			if i > 0 && (res[i-1].Rank > e.Rank || (res[i-1].Rank == e.Rank && res[i-1].Node > e.Node)) {
+				t.Error("oracle order broken")
+			}
+		}
+	}
+}
+
+func TestSortEntries(t *testing.T) {
+	es := []Entry{{Node: 5, Rank: 2}, {Node: 1, Rank: 2}, {Node: 9, Rank: 1}}
+	SortEntries(es)
+	want := []Entry{{Node: 9, Rank: 1}, {Node: 1, Rank: 2}, {Node: 5, Rank: 2}}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Fatalf("got %v", es)
+		}
+	}
+}
+
+func TestMatrixUnreachableAndDiagonal(t *testing.T) {
+	b := graph.NewBuilder(true)
+	b.EnsureNodes(3)
+	b.MustAddEdge(0, 1, 1)
+	g := b.Finalize()
+	m := Matrix(g)
+	if m[0][0] != 0 || m[1][1] != 0 {
+		t.Error("diagonal not zero")
+	}
+	if m[1][0] != Unreachable {
+		t.Errorf("m[1][0] = %d, want Unreachable", m[1][0])
+	}
+	if m[0][2] != Unreachable || m[2][0] != Unreachable {
+		t.Error("isolated node reachable")
+	}
+	if m[0][1] != 1 {
+		t.Errorf("m[0][1] = %d", m[0][1])
+	}
+}

@@ -1,0 +1,66 @@
+package ridx
+
+import (
+	"runtime"
+	"sync"
+
+	"rkranks/internal/graph"
+	"rkranks/internal/sssp"
+)
+
+// BuildParallel builds the same index as Build using worker goroutines
+// (workers <= 0 uses GOMAXPROCS). Hub searches are independent, so each
+// worker accumulates a private partial index over its share of hubs; the
+// partials are then merged by re-offering every entry. The result is
+// identical to Build's regardless of worker count or scheduling, because
+// Offer is order-independent: entries are exact (u, rank) facts and the
+// per-node list keeps the best maxK by (rank, node).
+func BuildParallel(g *graph.Graph, p BuildParams, workers int) (*Index, error) {
+	if err := checkParams(p); err != nil {
+		return nil, err
+	}
+	hubs := p.eligibleHubs()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(hubs) {
+		workers = len(hubs)
+	}
+	out := New(g.N(), p.K)
+	out.hubs = hubs
+	if workers <= 1 {
+		s := sssp.New(g)
+		for _, h := range hubs {
+			out.addHub(s, h, p.M, p.Counted)
+		}
+		return out, nil
+	}
+
+	partials := make([]*Index, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			part := New(g.N(), p.K)
+			s := sssp.New(g)
+			for i := w; i < len(hubs); i += workers {
+				part.addHub(s, hubs[i], p.M, p.Counted)
+			}
+			partials[w] = part
+		}(w)
+	}
+	wg.Wait()
+
+	for _, part := range partials {
+		for v, list := range part.rrd {
+			for _, e := range list {
+				out.Offer(int32(v), e.Node, e.Rank)
+			}
+		}
+		for u, c := range part.check {
+			out.RaiseCheck(int32(u), c)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,353 @@
+// Package ridx implements the reverse k-ranks index of Section 5 of the
+// paper: a Check Dictionary recording how far single-source searches from
+// each node have already looked, and a Reverse Rank Dictionary holding, for
+// every node v, the best (at most K) known (u, Rank(u, v)) pairs.
+//
+// The index is seeded by running an M-step SSSP from each of H hub nodes
+// (Section 5.2) and is refined dynamically as queries run (Section 5.3):
+// every rank refinement performed by the indexed engine feeds its settled
+// nodes back into both dictionaries, so the index keeps getting better.
+//
+// # Check Dictionary semantics
+//
+// Check(u) = c is a certified lower bound: for any node v that is NOT
+// recorded in Reverse(v) with source u, Rank(u, v) >= c. The paper stores
+// the number of SSSP steps taken from u; under distance ties that count can
+// exceed the true rank of an unsettled node, so this implementation stores
+// the tie-aware rank of the last settled node instead, which is provably
+// safe (an unsettled node is at least as far as the last settled one, hence
+// ranks no better). Without ties the two definitions coincide.
+package ridx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"rkranks/internal/graph"
+	"rkranks/internal/rank"
+	"rkranks/internal/sssp"
+)
+
+// Index is the two-dictionary structure of Section 5.2. It is not safe for
+// concurrent use: the indexed query engine both reads and writes it.
+type Index struct {
+	maxK  int
+	hubs  []int32
+	check []int32
+	rrd   [][]rank.Entry
+}
+
+// New returns an empty index over n nodes supporting reverse k-ranks
+// queries with k <= maxK.
+func New(n, maxK int) *Index {
+	if maxK < 1 {
+		panic("ridx: maxK must be >= 1")
+	}
+	return &Index{
+		maxK:  maxK,
+		check: make([]int32, n),
+		rrd:   make([][]rank.Entry, n),
+	}
+}
+
+// BuildParams configures Build.
+type BuildParams struct {
+	Hubs []int32 // hub nodes to precompute from
+	M    int     // SSSP steps per hub (number of nearest nodes ranked)
+	K    int     // maximum k supported by queries against this index
+
+	// Counted optionally restricts rank counting to a node class
+	// (bichromatic mode, Definition 3). Nil counts every node.
+	Counted []bool
+
+	// Candidates optionally restricts which hubs contribute entries
+	// (bichromatic mode, Definition 4): only candidate-class nodes can be
+	// query results, so only they may occupy Reverse Rank Dictionary
+	// slots — a slot held by a non-candidate would break the eviction
+	// argument behind the Check Dictionary prune (k of the at most maxK
+	// better-ranked entries must themselves be eligible results).
+	// Non-candidate hubs are skipped. Nil admits every hub.
+	Candidates []bool
+}
+
+// Build precomputes the index: an M-step ranked SSSP from every hub
+// (Section 5.2). The per-hub cost is O(M log M + E*) where E* is the number
+// of arcs incident to the M settled nodes.
+func Build(g *graph.Graph, p BuildParams) (*Index, error) {
+	if err := checkParams(p); err != nil {
+		return nil, err
+	}
+	ix := New(g.N(), p.K)
+	ix.hubs = p.eligibleHubs()
+	s := sssp.New(g)
+	for _, h := range ix.hubs {
+		ix.addHub(s, h, p.M, p.Counted)
+	}
+	return ix, nil
+}
+
+// eligibleHubs filters the hub list to candidate-class nodes (see the
+// Candidates field).
+func (p BuildParams) eligibleHubs() []int32 {
+	out := make([]int32, 0, len(p.Hubs))
+	for _, h := range p.Hubs {
+		if p.Candidates == nil || p.Candidates[h] {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func (ix *Index) addHub(s *sssp.Search, hub int32, m int, counted []bool) {
+	s.Reset(hub)
+	strictBelow := 0
+	settledCounted := 0
+	level := math.Inf(-1)
+	last := int32(0)
+	for settledCounted < m {
+		v, d, ok := s.Next()
+		if !ok {
+			// Whole reachable component settled: any node absent from the
+			// dictionaries is unreachable from hub.
+			last = math.MaxInt32
+			break
+		}
+		if v == hub {
+			continue
+		}
+		if counted != nil && !counted[v] {
+			continue
+		}
+		if d > level {
+			strictBelow = settledCounted
+			level = d
+		}
+		settledCounted++
+		r := int32(strictBelow + 1)
+		ix.Offer(v, hub, r)
+		last = r
+	}
+	ix.RaiseCheck(hub, last)
+}
+
+func checkParams(p BuildParams) error {
+	if p.M < 1 {
+		return fmt.Errorf("ridx: M must be >= 1, got %d", p.M)
+	}
+	if p.K < 1 {
+		return fmt.Errorf("ridx: K must be >= 1, got %d", p.K)
+	}
+	return nil
+}
+
+// MaxK returns the largest query k the index supports.
+func (ix *Index) MaxK() int { return ix.maxK }
+
+// Hubs returns the hub nodes the index was built from.
+func (ix *Index) Hubs() []int32 { return ix.hubs }
+
+// N returns the number of nodes covered.
+func (ix *Index) N() int { return len(ix.check) }
+
+// Check returns the Check Dictionary bound for u (0 when u was never the
+// source of a recorded search).
+func (ix *Index) Check(u int32) int32 { return ix.check[u] }
+
+// RaiseCheck raises the Check Dictionary bound for u; bounds only grow
+// (each recorded search certifies at least what previous ones did).
+func (ix *Index) RaiseCheck(u, bound int32) {
+	if bound > ix.check[u] {
+		ix.check[u] = bound
+	}
+}
+
+// Reverse returns the stored reverse-rank list of v, ordered by
+// (rank, node). The returned slice aliases index storage; callers must not
+// modify it and must not hold it across Offer calls.
+func (ix *Index) Reverse(v int32) []rank.Entry { return ix.rrd[v] }
+
+// LookupRank returns Rank(u, v) when the pair is recorded.
+func (ix *Index) LookupRank(v, u int32) (int32, bool) {
+	for _, e := range ix.rrd[v] {
+		if e.Node == u {
+			return e.Rank, true
+		}
+	}
+	return 0, false
+}
+
+// Offer records Rank(u, v) = r in the Reverse Rank Dictionary of v, keeping
+// only the best maxK entries ordered by (rank, node). Ranks are exact, so a
+// re-offered pair is ignored. It reports whether the dictionary changed.
+func (ix *Index) Offer(v, u int32, r int32) bool {
+	list := ix.rrd[v]
+	for _, e := range list {
+		if e.Node == u {
+			return false // already recorded (ranks are exact)
+		}
+	}
+	pos := len(list)
+	for i, e := range list {
+		if r < e.Rank || (r == e.Rank && u < e.Node) {
+			pos = i
+			break
+		}
+	}
+	if pos >= ix.maxK {
+		return false
+	}
+	if len(list) < ix.maxK {
+		list = append(list, rank.Entry{})
+	}
+	copy(list[pos+1:], list[pos:])
+	list[pos] = rank.Entry{Node: u, Rank: r}
+	ix.rrd[v] = list
+	return true
+}
+
+// Entries returns the total number of reverse-rank entries stored.
+func (ix *Index) Entries() int64 {
+	var n int64
+	for _, l := range ix.rrd {
+		n += int64(len(l))
+	}
+	return n
+}
+
+// SizeBytes estimates the in-memory footprint of the index payload
+// (dictionary entries and check bounds), mirroring the "Index Size" columns
+// of Tables 6-9.
+func (ix *Index) SizeBytes() int64 {
+	const entryBytes = 8 // int32 node + int32 rank
+	return int64(len(ix.check))*4 + ix.Entries()*entryBytes + int64(len(ix.rrd))*24
+}
+
+// Clone returns a deep copy; used by experiments that reset the index
+// between query batches (Table 14).
+func (ix *Index) Clone() *Index {
+	cp := &Index{
+		maxK:  ix.maxK,
+		hubs:  append([]int32(nil), ix.hubs...),
+		check: append([]int32(nil), ix.check...),
+		rrd:   make([][]rank.Entry, len(ix.rrd)),
+	}
+	for i, l := range ix.rrd {
+		if len(l) > 0 {
+			cp.rrd[i] = append([]rank.Entry(nil), l...)
+		}
+	}
+	return cp
+}
+
+const indexMagic = "RKIX1\n"
+
+// readInt32s reads n little-endian int32 values, growing the buffer chunk
+// by chunk so untrusted counts fail with a read error rather than a huge
+// allocation.
+func readInt32s(r io.Reader, n int) ([]int32, error) {
+	const chunkElems = 1 << 16
+	out := make([]int32, 0, minInt(n, chunkElems))
+	for len(out) < n {
+		c := minInt(n-len(out), chunkElems)
+		out = append(out, make([]int32, c)...)
+		if err := binary.Read(r, binary.LittleEndian, out[len(out)-c:]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Write serializes the index.
+func (ix *Index) Write(w io.Writer) error {
+	if _, err := io.WriteString(w, indexMagic); err != nil {
+		return err
+	}
+	hdr := []uint64{uint64(ix.maxK), uint64(len(ix.check)), uint64(len(ix.hubs)), uint64(ix.Entries())}
+	for _, h := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, ix.hubs); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, ix.check); err != nil {
+		return err
+	}
+	for _, l := range ix.rrd {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(l))); err != nil {
+			return err
+		}
+		for _, e := range l {
+			if err := binary.Write(w, binary.LittleEndian, [2]int32{e.Node, e.Rank}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Read deserializes an index written by Write.
+func Read(r io.Reader) (*Index, error) {
+	magic := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("ridx: bad magic %q", magic)
+	}
+	var hdr [4]uint64
+	for i := range hdr {
+		if err := binary.Read(r, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, err
+		}
+	}
+	// Header fields are untrusted: bound them before allocating.
+	maxK, n, nhubs := hdr[0], hdr[1], hdr[2]
+	if maxK < 1 || maxK > math.MaxInt32 || n > math.MaxInt32 || nhubs > n {
+		return nil, fmt.Errorf("ridx: corrupt header: K=%d n=%d hubs=%d", maxK, n, nhubs)
+	}
+	// Read the variable-length payloads before allocating the O(n) rrd
+	// table, so a corrupted n fails on a short read instead of a giant
+	// allocation (the chunked reader grows with actual file content).
+	hubs, err := readInt32s(r, int(nhubs))
+	if err != nil {
+		return nil, err
+	}
+	check, err := readInt32s(r, int(n))
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{maxK: int(maxK), hubs: hubs, check: check, rrd: make([][]rank.Entry, n)}
+	for v := range ix.rrd {
+		var ln uint32
+		if err := binary.Read(r, binary.LittleEndian, &ln); err != nil {
+			return nil, err
+		}
+		if int(ln) > ix.maxK {
+			return nil, fmt.Errorf("ridx: list for %d longer than K", v)
+		}
+		if ln == 0 {
+			continue
+		}
+		list := make([]rank.Entry, ln)
+		for i := range list {
+			var pair [2]int32
+			if err := binary.Read(r, binary.LittleEndian, &pair); err != nil {
+				return nil, err
+			}
+			list[i] = rank.Entry{Node: pair[0], Rank: pair[1]}
+		}
+		ix.rrd[v] = list
+	}
+	return ix, nil
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Errorf("Mean = %g", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) not NaN")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{5, 1, 3}); m != 3 {
+		t.Errorf("odd Median = %g", m)
+	}
+	if m := Median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("even Median = %g", m)
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("Median(nil) not NaN")
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 {
+		t.Error("Median sorted its input")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if s := Stddev([]float64{2, 2, 2}); s != 0 {
+		t.Errorf("constant Stddev = %g", s)
+	}
+	if s := Stddev([]float64{1, 3}); s != 1 {
+		t.Errorf("Stddev = %g, want 1", s)
+	}
+	if !math.IsNaN(Stddev(nil)) {
+		t.Error("Stddev(nil) not NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := map[float64]float64{0: 10, 20: 10, 50: 30, 100: 50}
+	for p, want := range cases {
+		if got := Percentile(xs, p); got != want {
+			t.Errorf("P%g = %g, want %g", p, got, want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile(nil) not NaN")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if s := Seconds(1500 * time.Millisecond); s != "1.500000" {
+		t.Errorf("Seconds = %q", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Demo", "name", "value")
+	tab.Add("alpha", 3.14159)
+	tab.Add("beta", 42)
+	tab.Add("gamma", 2*time.Second)
+	tab.Note("a note with %d placeholder", 1)
+	out := tab.String()
+	for _, want := range []string{"Demo", "name", "alpha", "3.1416", "42", "2.000000", "note: a note with 1 placeholder"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	// Columns align: header and rule share width.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 3 || len(lines[1]) != len(lines[2]) {
+		t.Errorf("misaligned rule:\n%s", out)
+	}
+}
+
+func TestFormatFloatRanges(t *testing.T) {
+	cases := map[float64]string{
+		math.NaN(): "-",
+		0.0000005:  "5e-07",
+		12345.6:    "12345.6",
+		1.5:        "1.5000",
+		0:          "0.0000",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

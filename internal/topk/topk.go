@@ -1,0 +1,181 @@
+// Package topk implements the comparison queries used by the paper's
+// effectiveness study (Section 6.2): top-k (k nearest nodes by shortest
+// path), reverse top-k (all nodes having q among their k nearest), batch
+// top-k lists, and the agreement-rate analytics of Table 4.
+package topk
+
+import (
+	"math"
+
+	"rkranks/internal/graph"
+	"rkranks/internal/rank"
+	"rkranks/internal/sssp"
+)
+
+// TopK returns the k nearest nodes to q (excluding q), nearest first.
+func TopK(g *graph.Graph, q int32, k int) []sssp.Result {
+	return sssp.KNN(sssp.New(g), q, k)
+}
+
+// ReverseTopK returns every node p with Rank(p, q) <= k — the nodes that
+// have q among their k nearest (ties included, per Definition 1's tie-aware
+// rank). The result size is unbounded: this is precisely the imbalance the
+// reverse k-ranks query fixes.
+//
+// Evaluation reuses the SDS-tree idea: traverse the transpose graph from q
+// in distance order and rank-refine each reached node with an abort at k;
+// by Theorem 1, the subtree below a failed node cannot qualify and is
+// pruned.
+func ReverseTopK(g *graph.Graph, q int32, k int) []rank.Entry {
+	tree := sssp.New(g)
+	ref := sssp.New(g)
+	tree.ResetReverse(q)
+	var out []rank.Entry
+	for {
+		v, d, ok := tree.Pop()
+		if !ok {
+			break
+		}
+		if v == q {
+			tree.Expand(v, d)
+			continue
+		}
+		r, exact := rank.OfBounded(ref, v, q, int32(k), sssp.Cutoff(d))
+		if exact && r <= int32(k) {
+			out = append(out, rank.Entry{Node: v, Rank: r})
+			tree.Expand(v, d)
+		}
+	}
+	rank.SortEntries(out)
+	return out
+}
+
+// ReverseTopKBichromatic is the bichromatic variant of ReverseTopK
+// (Definitions 3-4): it returns every candidate-class node p with
+// bichromatic Rank(p, q) <= k, where ranks count only the counted class.
+// Nil class slices admit every node, reducing to the monochromatic query.
+// Used by the paper's Figure-5 case study, where the reverse top-1 query
+// of a store returns the communities whose nearest store it is.
+func ReverseTopKBichromatic(g *graph.Graph, q int32, k int, candidates, counted []bool) []rank.Entry {
+	tree := sssp.New(g)
+	ref := sssp.New(g)
+	tree.ResetReverse(q)
+	var out []rank.Entry
+	for {
+		v, d, ok := tree.Pop()
+		if !ok {
+			break
+		}
+		if v == q {
+			tree.Expand(v, d)
+			continue
+		}
+		if candidates != nil && !candidates[v] {
+			// Non-candidates cannot be results but carry shortest paths.
+			tree.Expand(v, d)
+			continue
+		}
+		r, exact := rank.OfBoundedIn(ref, v, q, int32(k), sssp.Cutoff(d), counted)
+		if exact && r <= int32(k) {
+			out = append(out, rank.Entry{Node: v, Rank: r})
+		}
+		// Lemma 1 transfer to children: unchanged when v is counted,
+		// weakened by one when it is not (the child may be a counted
+		// member of v's strictly-closer set).
+		cb := r
+		if counted != nil && !counted[v] && cb > 0 {
+			cb--
+		}
+		if cb <= int32(k) {
+			tree.Expand(v, d)
+		}
+	}
+	rank.SortEntries(out)
+	return out
+}
+
+// Lists computes the top-kmax lists of every node: lists[v] holds v's kmax
+// nearest nodes in nondecreasing distance order. Cost is |V| bounded
+// Dijkstra runs; intended for the batch analytics of Tables 3-4 on
+// experiment-scale graphs.
+func Lists(g *graph.Graph, kmax int) [][]sssp.Result {
+	n := g.N()
+	lists := make([][]sssp.Result, n)
+	s := sssp.New(g)
+	for v := 0; v < n; v++ {
+		lists[v] = sssp.KNN(s, int32(v), kmax)
+	}
+	return lists
+}
+
+// SizeStats summarizes reverse top-k result-set sizes over all query nodes,
+// mirroring the rows of Table 3.
+type SizeStats struct {
+	K          int
+	Largest    int // largest result-set size
+	Empty      int // query nodes with empty results
+	Small      int // query nodes with <= SmallCap results
+	Large      int // query nodes with >= LargeCap results
+	SmallCap   int
+	LargeCap   int
+	TotalNodes int
+}
+
+// ReverseSizes derives, from precomputed top-kmax lists, the reverse top-k
+// result-set size of every node: sizes[v] = |{p : v among p's k nearest}|.
+// k must not exceed the kmax the lists were built with.
+func ReverseSizes(lists [][]sssp.Result, k int) []int {
+	sizes := make([]int, len(lists))
+	for _, l := range lists {
+		for i := 0; i < k && i < len(l); i++ {
+			sizes[l[i].Node]++
+		}
+	}
+	return sizes
+}
+
+// Sizes computes Table-3 statistics from per-node reverse top-k sizes.
+func Sizes(sizes []int, k, smallCap, largeCap int) SizeStats {
+	st := SizeStats{K: k, SmallCap: smallCap, LargeCap: largeCap, TotalNodes: len(sizes)}
+	for _, s := range sizes {
+		if s > st.Largest {
+			st.Largest = s
+		}
+		if s == 0 {
+			st.Empty++
+		}
+		if s <= smallCap {
+			st.Small++
+		}
+		if s >= largeCap {
+			st.Large++
+		}
+	}
+	return st
+}
+
+// AgreementRate computes the Table-4 metric: among all (i, j) pairs with j
+// in i's top-k, the fraction where i is also in j's top-k.
+func AgreementRate(lists [][]sssp.Result, k int) float64 {
+	n := len(lists)
+	member := make(map[int64]bool, n*k)
+	key := func(i, j int32) int64 { return int64(i)<<32 | int64(uint32(j)) }
+	for i, l := range lists {
+		for x := 0; x < k && x < len(l); x++ {
+			member[key(int32(i), l[x].Node)] = true
+		}
+	}
+	var total, agree int64
+	for i, l := range lists {
+		for x := 0; x < k && x < len(l); x++ {
+			total++
+			if member[key(l[x].Node, int32(i))] {
+				agree++
+			}
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(agree) / float64(total)
+}

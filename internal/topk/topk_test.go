@@ -1,0 +1,207 @@
+package topk
+
+import (
+	"math"
+	"testing"
+
+	"rkranks/internal/gen"
+	"rkranks/internal/rank"
+	"rkranks/internal/sssp"
+	tg "rkranks/internal/testgraphs"
+)
+
+func TestTopKToy(t *testing.T) {
+	g := tg.Toy()
+	res := TopK(g, tg.Alice, 3)
+	want := []struct {
+		node int32
+		dist float64
+	}{{tg.Bob, 1.0}, {tg.Eric, 1.2}, {tg.Caroline, 1.3}}
+	if len(res) != 3 {
+		t.Fatalf("len = %d", len(res))
+	}
+	for i, w := range want {
+		if res[i].Node != w.node || math.Abs(res[i].Dist-w.dist) > 1e-9 {
+			t.Errorf("topk[%d] = %+v, want %+v", i, res[i], w)
+		}
+	}
+}
+
+// TestReverseTopKToy pins the worked numbers of Example 1: reverse top-2 of
+// Alice is empty; reverse top-2 of Eric includes all six researchers.
+func TestReverseTopKToy(t *testing.T) {
+	g := tg.Toy()
+	if res := ReverseTopK(g, tg.Alice, 2); len(res) != 0 {
+		t.Errorf("reverse top-2 of Alice = %v, want empty", res)
+	}
+	res := ReverseTopK(g, tg.Eric, 2)
+	if len(res) != 6 {
+		t.Fatalf("reverse top-2 of Eric has %d nodes, want 6: %v", len(res), res)
+	}
+	for _, e := range res {
+		if want := tg.ToyRankMatrix[e.Node][tg.Eric]; e.Rank != want {
+			t.Errorf("rank(%s,Eric) = %d, want %d", tg.ToyNames[e.Node], e.Rank, want)
+		}
+	}
+}
+
+// TestReverseTopKAgainstBruteForce: on random graphs the SDS-pruned
+// evaluation must return exactly {p : Rank(p,q) <= k}.
+func TestReverseTopKAgainstBruteForce(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		g := gen.GNM(45, 160, directed, 6)
+		s := sssp.New(g)
+		for q := int32(0); q < 45; q += 6 {
+			for _, k := range []int{1, 3, 7} {
+				got := ReverseTopK(g, q, k)
+				var want []rank.Entry
+				for p := int32(0); int(p) < g.N(); p++ {
+					if p == q {
+						continue
+					}
+					if r := rank.Of(s, p, q); r != rank.Unreachable && r <= int32(k) {
+						want = append(want, rank.Entry{Node: p, Rank: r})
+					}
+				}
+				rank.SortEntries(want)
+				if len(got) != len(want) {
+					t.Fatalf("directed=%v q=%d k=%d: got %v want %v", directed, q, k, got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("directed=%v q=%d k=%d: got %v want %v", directed, q, k, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReverseTopKBichromaticAgainstBruteForce validates the class-aware
+// variant on random store/community splits.
+func TestReverseTopKBichromaticAgainstBruteForce(t *testing.T) {
+	g, stores := gen.RoadNetwork(gen.RoadNetworkParams{Rows: 7, Cols: 7, KeepProb: 0.5, Stores: 8, Seed: 12})
+	candidates, counted := gen.StoreClasses(g.N(), stores)
+	s := sssp.New(g)
+	dist := make([]float64, g.N())
+	for _, q := range stores {
+		for _, k := range []int{1, 2, 4} {
+			got := ReverseTopKBichromatic(g, q, k, candidates, counted)
+			var want []rank.Entry
+			for p := int32(0); int(p) < g.N(); p++ {
+				if p == q || !candidates[p] {
+					continue
+				}
+				sssp.AllDistances(s, p, dist)
+				if math.IsInf(dist[q], 1) {
+					continue
+				}
+				cnt := int32(0)
+				for v := int32(0); int(v) < g.N(); v++ {
+					if v != q && int(v) != int(p) && counted[v] && dist[v] < dist[q] {
+						cnt++
+					}
+				}
+				if cnt+1 <= int32(k) {
+					want = append(want, rank.Entry{Node: p, Rank: cnt + 1})
+				}
+			}
+			rank.SortEntries(want)
+			if len(got) != len(want) {
+				t.Fatalf("q=%d k=%d: got %d want %d entries", q, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("q=%d k=%d: %v vs %v", q, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestReverseTopKBichromaticNilClasses reduces to the monochromatic query.
+func TestReverseTopKBichromaticNilClasses(t *testing.T) {
+	g := tg.Toy()
+	a := ReverseTopK(g, tg.Eric, 2)
+	b := ReverseTopKBichromatic(g, tg.Eric, 2, nil, nil)
+	if len(a) != len(b) {
+		t.Fatalf("%v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%v vs %v", a, b)
+		}
+	}
+}
+
+func TestListsShape(t *testing.T) {
+	g := tg.Toy()
+	lists := Lists(g, 3)
+	if len(lists) != g.N() {
+		t.Fatalf("lists = %d", len(lists))
+	}
+	for v, l := range lists {
+		if len(l) != 3 {
+			t.Errorf("list[%d] has %d entries", v, len(l))
+		}
+		for i := 1; i < len(l); i++ {
+			if l[i].Dist < l[i-1].Dist {
+				t.Errorf("list[%d] not sorted", v)
+			}
+		}
+	}
+}
+
+func TestReverseSizesAndStats(t *testing.T) {
+	g := tg.Toy()
+	lists := Lists(g, 2)
+	sizes := ReverseSizes(lists, 2)
+	// Eric is in everyone's top-2 (column Eric of Table 1 has ranks <= 2
+	// for all others).
+	if sizes[tg.Eric] != 6 {
+		t.Errorf("reverse top-2 size of Eric = %d, want 6", sizes[tg.Eric])
+	}
+	if sizes[tg.Alice] != 0 {
+		t.Errorf("reverse top-2 size of Alice = %d, want 0", sizes[tg.Alice])
+	}
+	st := Sizes(sizes, 2, 1, 6)
+	if st.Largest != 6 {
+		t.Errorf("largest = %d", st.Largest)
+	}
+	if st.Empty < 1 {
+		t.Errorf("empty = %d", st.Empty)
+	}
+	if st.Large != 1 { // only Eric reaches the >=6 cap
+		t.Errorf("large = %d", st.Large)
+	}
+	if st.TotalNodes != 7 || st.K != 2 {
+		t.Errorf("stats meta: %+v", st)
+	}
+}
+
+func TestAgreementRateBounds(t *testing.T) {
+	g := tg.Toy()
+	lists := Lists(g, 3)
+	rate := AgreementRate(lists, 3)
+	if rate < 0 || rate > 1 {
+		t.Fatalf("rate = %g", rate)
+	}
+	// On a 2-node path agreement is total.
+	p := tg.Path(2)
+	if r := AgreementRate(Lists(p, 1), 1); r != 1 {
+		t.Errorf("2-path agreement = %g", r)
+	}
+	// Empty lists: NaN.
+	if r := AgreementRate(nil, 1); !math.IsNaN(r) {
+		t.Errorf("empty agreement = %g", r)
+	}
+}
+
+// TestAgreementDirected: on a directed cycle nobody's top-1 is mutual
+// (0 -> 1 but 1's nearest is 2).
+func TestAgreementDirected(t *testing.T) {
+	g := tg.Cycle(4)
+	if r := AgreementRate(Lists(g, 1), 1); r != 0 {
+		t.Errorf("cycle agreement = %g, want 0", r)
+	}
+}

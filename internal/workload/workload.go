@@ -1,0 +1,86 @@
+// Package workload builds the query workloads used by the paper's
+// experimental protocols (Section 6.3): uniform random query nodes,
+// maximum-degree and minimum-degree query sets (Tables 12-13), and class-
+// restricted workloads for bichromatic experiments.
+package workload
+
+import (
+	"math/rand"
+	"sort"
+
+	"rkranks/internal/graph"
+)
+
+// Random returns count query nodes drawn uniformly without replacement
+// (with replacement once count exceeds the node count).
+func Random(g *graph.Graph, count int, seed int64) []int32 {
+	return RandomFrom(allNodes(g.N()), count, seed)
+}
+
+// RandomFrom draws count queries uniformly from the given candidate pool,
+// without replacement while the pool lasts.
+func RandomFrom(pool []int32, count int, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int32, 0, count)
+	perm := rng.Perm(len(pool))
+	for _, i := range perm {
+		if len(out) == count {
+			return out
+		}
+		out = append(out, pool[i])
+	}
+	for len(out) < count && len(pool) > 0 {
+		out = append(out, pool[rng.Intn(len(pool))])
+	}
+	return out
+}
+
+// MaxDegree returns the count nodes with the largest out-degree (ties by
+// smaller id), the paper's "queries with max degree" workload.
+func MaxDegree(g *graph.Graph, count int) []int32 {
+	return byDegree(g, count, true)
+}
+
+// MinDegree returns the count nodes with the smallest out-degree (ties by
+// smaller id), the paper's "queries with min degree" workload.
+func MinDegree(g *graph.Graph, count int) []int32 {
+	return byDegree(g, count, false)
+}
+
+func byDegree(g *graph.Graph, count int, max bool) []int32 {
+	ids := allNodes(g.N())
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := g.OutDegree(ids[i]), g.OutDegree(ids[j])
+		if di != dj {
+			if max {
+				return di > dj
+			}
+			return di < dj
+		}
+		return ids[i] < ids[j]
+	})
+	if count > len(ids) {
+		count = len(ids)
+	}
+	return append([]int32(nil), ids[:count]...)
+}
+
+// Class returns the nodes for which member[v] is true, in id order; used to
+// build bichromatic query pools (e.g. store nodes).
+func Class(member []bool) []int32 {
+	var out []int32
+	for v, ok := range member {
+		if ok {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+func allNodes(n int) []int32 {
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	return ids
+}

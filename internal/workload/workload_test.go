@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"testing"
+
+	"rkranks/internal/gen"
+	tg "rkranks/internal/testgraphs"
+)
+
+func TestRandomUniqueAndDeterministic(t *testing.T) {
+	g := gen.GNM(50, 100, false, 1)
+	qs := Random(g, 20, 7)
+	if len(qs) != 20 {
+		t.Fatalf("len = %d", len(qs))
+	}
+	seen := map[int32]bool{}
+	for _, q := range qs {
+		if q < 0 || int(q) >= g.N() {
+			t.Fatalf("query %d out of range", q)
+		}
+		if seen[q] {
+			t.Fatalf("duplicate query %d with pool larger than count", q)
+		}
+		seen[q] = true
+	}
+	again := Random(g, 20, 7)
+	for i := range qs {
+		if qs[i] != again[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestRandomWithReplacementBeyondPool(t *testing.T) {
+	g := tg.Path(3)
+	qs := Random(g, 10, 1)
+	if len(qs) != 10 {
+		t.Fatalf("len = %d", len(qs))
+	}
+}
+
+func TestRandomFromEmptyPool(t *testing.T) {
+	if qs := RandomFrom(nil, 5, 1); len(qs) != 0 {
+		t.Errorf("empty pool produced %v", qs)
+	}
+}
+
+func TestMaxMinDegree(t *testing.T) {
+	g := tg.Star([]float64{1, 1, 1}) // node 0 degree 3, spokes degree 1
+	max := MaxDegree(g, 1)
+	if len(max) != 1 || max[0] != 0 {
+		t.Errorf("MaxDegree = %v", max)
+	}
+	min := MinDegree(g, 2)
+	if len(min) != 2 || min[0] != 1 || min[1] != 2 {
+		t.Errorf("MinDegree = %v (want spokes in id order)", min)
+	}
+	if got := MaxDegree(g, 100); len(got) != g.N() {
+		t.Errorf("overcount not clamped: %d", len(got))
+	}
+}
+
+func TestMaxDegreeOrdering(t *testing.T) {
+	g := gen.DBLPLike(gen.DBLPLikeParams{Nodes: 150, AttachPerNode: 3, Seed: 2})
+	qs := MaxDegree(g, 10)
+	for i := 1; i < len(qs); i++ {
+		if g.OutDegree(qs[i]) > g.OutDegree(qs[i-1]) {
+			t.Fatal("degrees not nonincreasing")
+		}
+	}
+	qs = MinDegree(g, 10)
+	for i := 1; i < len(qs); i++ {
+		if g.OutDegree(qs[i]) < g.OutDegree(qs[i-1]) {
+			t.Fatal("degrees not nondecreasing")
+		}
+	}
+}
+
+func TestClass(t *testing.T) {
+	member := []bool{false, true, false, true, true}
+	got := Class(member)
+	want := []int32{1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if Class(nil) != nil {
+		t.Error("nil class should be empty")
+	}
+}

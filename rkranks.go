@@ -1,0 +1,281 @@
+// Package rkranks answers reverse k-ranks queries on large weighted graphs,
+// implementing "Reverse k-Ranks Queries on Large Graphs" (Qian, Li,
+// Mamoulis, Liu, Cheung — EDBT 2017).
+//
+// Given a query node q, the reverse k-ranks query returns the k nodes p
+// with the smallest Rank(p, q), where Rank(p, q) is q's position in p's
+// list of nodes ordered by shortest-path distance. Unlike reverse top-k /
+// reverse k-NN queries, the result always has exactly k entries, which
+// makes it usable for "cold" query nodes (new users, remote locations)
+// and for shortlisting around "hot" ones.
+//
+// # Quick start
+//
+//	b := rkranks.NewBuilder(false) // undirected
+//	alice, bob := b.AddLabeledNode("alice"), b.AddLabeledNode("bob")
+//	b.MustAddEdge(alice, bob, 1.0)
+//	g := b.Finalize()
+//
+//	e := rkranks.NewEngine(g, rkranks.Options{})
+//	res, err := e.Query(rkranks.Dynamic, alice, 2)
+//
+// Four engines share one result semantics and differ only in cost:
+//
+//   - Naive — brute force over all nodes (baseline).
+//   - Static — SDS-tree filter-and-refine (paper Section 3).
+//   - Dynamic — Dynamic Bounded SDS-tree (Section 4); the default choice
+//     without precomputation.
+//   - Indexed — Dynamic plus the Check/Reverse-Rank dictionaries
+//     (Section 5); fastest once an Index is built, and the index keeps
+//     improving as queries run.
+//
+// Bichromatic queries (Definitions 3-4: query nodes of one class, results
+// of another, e.g. stores and communities on a road network) are selected
+// through Options.Candidates and Options.Counted.
+//
+// All functionality is pure Go with no dependencies outside the standard
+// library. Engines are not safe for concurrent use; create one Engine per
+// goroutine (and do not share an Index between them, since Indexed queries
+// update it).
+package rkranks
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"rkranks/internal/core"
+	"rkranks/internal/graph"
+	"rkranks/internal/hub"
+	"rkranks/internal/ppr"
+	"rkranks/internal/rank"
+	"rkranks/internal/ridx"
+	"rkranks/internal/sssp"
+	"rkranks/internal/topk"
+)
+
+// Re-exported core types. The aliases give external packages full access to
+// the implementation's methods without reaching into internal packages.
+type (
+	// Graph is an immutable weighted graph in CSR form; build one with a
+	// Builder or load one with ReadGraph.
+	Graph = graph.Graph
+	// Builder accumulates nodes and edges and produces an immutable Graph.
+	Builder = graph.Builder
+	// Edge is a weighted edge, as reported by Graph.Edges.
+	Edge = graph.Edge
+	// Engine evaluates reverse k-ranks queries; it owns reusable
+	// workspaces and is not safe for concurrent use.
+	Engine = core.Engine
+	// Options configures an Engine (bound selection, bichromatic classes).
+	Options = core.Options
+	// Algorithm selects one of the four engines.
+	Algorithm = core.Algorithm
+	// Bounds selects the Theorem-2 lower-bound components for the dynamic
+	// engines.
+	Bounds = core.Bounds
+	// Result is a query answer: k (node, rank) entries plus work counters.
+	Result = core.Result
+	// Stats reports the work one query performed.
+	Stats = core.Stats
+	// Entry pairs a node with a rank value.
+	Entry = rank.Entry
+	// Index is the Section-5 Check/Reverse-Rank dictionary structure.
+	Index = ridx.Index
+	// HubStrategy selects how index hubs are chosen.
+	HubStrategy = hub.Strategy
+	// Pool serves index-free queries concurrently (one engine per permit).
+	Pool = core.Pool
+)
+
+// Algorithm values.
+const (
+	Naive   = core.Naive
+	Static  = core.Static
+	Dynamic = core.Dynamic
+	Indexed = core.Indexed
+)
+
+// Bound components (see the paper's Theorem 2 and Tables 12-13).
+const (
+	BoundParent = core.BoundParent
+	BoundHeight = core.BoundHeight
+	BoundCount  = core.BoundCount
+	BoundsAll   = core.BoundsAll
+)
+
+// Hub-selection strategies (paper Section 5.1).
+const (
+	RandomHubs    = hub.Random
+	DegreeHubs    = hub.DegreeFirst
+	ClosenessHubs = hub.ClosenessFirst
+)
+
+// RankUnreachable is the rank reported when no path exists.
+const RankUnreachable = rank.Unreachable
+
+// NewBuilder returns a graph builder; directed selects edge orientation.
+func NewBuilder(directed bool) *Builder { return graph.NewBuilder(directed) }
+
+// NewEngine returns a query engine over g.
+func NewEngine(g *Graph, opts Options) *Engine { return core.NewEngine(g, opts) }
+
+// NewPool returns a pool of engines for concurrent index-free querying
+// (size <= 0 uses GOMAXPROCS). Indexed queries mutate their index and must
+// run on a dedicated Engine instead.
+func NewPool(g *Graph, opts Options, size int) *Pool { return core.NewPool(g, opts, size) }
+
+// SaveIndex writes a built index to a file.
+func SaveIndex(path string, ix *Index) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ix.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadIndex reads an index written by SaveIndex.
+func LoadIndex(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ridx.Read(f)
+}
+
+// ReadGraph loads a graph from a file (binary for the ".rkg" extension,
+// text edge-list otherwise; see the graph package formats).
+func ReadGraph(path string) (*Graph, error) { return graph.ReadFile(path) }
+
+// WriteGraph stores a graph to a file, dispatching on the ".rkg" extension.
+func WriteGraph(path string, g *Graph) error { return graph.WriteFile(path, g) }
+
+// ReadGraphFrom parses the text edge-list format from r.
+func ReadGraphFrom(r io.Reader) (*Graph, error) { return graph.ReadText(r) }
+
+// IndexParams configures BuildIndex. Fractions follow the paper's h and m
+// parameters (Table 5 defaults: h = m = 0.1, Degree First).
+type IndexParams struct {
+	// HubFraction is h = H/|V|, the fraction of nodes used as hubs.
+	HubFraction float64
+	// RankFraction is m = M/|V|, the fraction of nodes ranked per hub.
+	RankFraction float64
+	// MaxK is the largest query k the index will support (paper's K).
+	MaxK int
+	// Strategy picks hubs; the zero value is RandomHubs, and the paper's
+	// best performer is DegreeHubs.
+	Strategy HubStrategy
+	// Counted restricts rank counting for bichromatic indexes; nil counts
+	// every node (monochromatic).
+	Counted []bool
+	// Candidates restricts which hubs may contribute entries (bichromatic
+	// mode): only candidate-class nodes are eligible results, so only
+	// they may occupy dictionary slots. Nil admits every hub.
+	Candidates []bool
+	// Seed drives hub sampling.
+	Seed int64
+}
+
+// BuildIndex precomputes a Section-5 index for g: selects H = h·|V| hubs
+// with the chosen strategy and runs an M = m·|V| step ranked SSSP from each.
+// Attach the result to an Engine with SetIndex to enable Indexed queries.
+func BuildIndex(g *Graph, p IndexParams) (*Index, error) {
+	if p.HubFraction <= 0 || p.HubFraction > 1 {
+		return nil, fmt.Errorf("rkranks: HubFraction must be in (0,1], got %g", p.HubFraction)
+	}
+	if p.RankFraction <= 0 || p.RankFraction > 1 {
+		return nil, fmt.Errorf("rkranks: RankFraction must be in (0,1], got %g", p.RankFraction)
+	}
+	if p.MaxK < 1 {
+		return nil, fmt.Errorf("rkranks: MaxK must be >= 1, got %d", p.MaxK)
+	}
+	h := int(float64(g.N()) * p.HubFraction)
+	if h < 1 {
+		h = 1
+	}
+	m := int(float64(g.N()) * p.RankFraction)
+	if m < 1 {
+		m = 1
+	}
+	hubs := hub.Select(g, p.Strategy, h, hub.Options{Seed: p.Seed})
+	// Hub searches are independent; build in parallel. The result is
+	// identical to a serial build regardless of scheduling.
+	return ridx.BuildParallel(g, ridx.BuildParams{
+		Hubs: hubs, M: m, K: p.MaxK,
+		Counted: p.Counted, Candidates: p.Candidates,
+	}, 0)
+}
+
+// ReverseKRanks answers a single reverse k-ranks query with the Dynamic
+// engine — the best index-free choice. For query streams, construct an
+// Engine (and optionally an Index) once and reuse it.
+func ReverseKRanks(g *Graph, q int32, k int) ([]Entry, error) {
+	res, err := core.NewEngine(g, core.Options{}).Query(core.Dynamic, q, k)
+	if err != nil {
+		return nil, err
+	}
+	return res.Entries, nil
+}
+
+// PPRParams configures Personalized-PageRank proximity (see ReverseKRanksPPR).
+type PPRParams = ppr.Params
+
+// PersonalizedPageRank computes the PPR vector of source (power iteration,
+// weight-proportional transitions, dangling mass teleports to the source).
+func PersonalizedPageRank(g *Graph, source int32, p PPRParams) ([]float64, error) {
+	return ppr.Scores(g, source, p)
+}
+
+// ReverseKRanksPPR answers a reverse k-ranks query under Personalized
+// PageRank proximity instead of shortest-path distance — the extension the
+// paper's conclusion lists as future work. This is a reference (brute
+// force) implementation: PPR is not a metric, so none of the SDS-tree
+// pruning bounds apply; cost is O(|V|) power iterations per query. Use it
+// as an oracle or on small graphs.
+func ReverseKRanksPPR(g *Graph, q int32, k int, p PPRParams) ([]Entry, error) {
+	return ppr.ReverseKRanks(g, q, k, p)
+}
+
+// Rank computes Rank(src, dst): 1 plus the number of nodes strictly closer
+// to src than dst is (Definition 1; equidistant nodes share a rank). It
+// returns RankUnreachable when dst cannot be reached from src.
+func Rank(g *Graph, src, dst int32) int32 {
+	return rank.Of(sssp.New(g), src, dst)
+}
+
+// TopK returns q's k nearest nodes by shortest-path distance, nearest
+// first (the classical k-NN query the paper contrasts with).
+func TopK(g *Graph, q int32, k int) []Entry {
+	res := topk.TopK(g, q, k)
+	out := make([]Entry, len(res))
+	for i, r := range res {
+		out[i] = Entry{Node: r.Node, Rank: int32(i + 1)}
+	}
+	return out
+}
+
+// ReverseTopK returns every node that has q among its k nearest nodes
+// (rank <= k), with exact ranks, ordered by (rank, node). Its result size
+// is unbounded — the imbalance that motivates reverse k-ranks.
+func ReverseTopK(g *Graph, q int32, k int) []Entry {
+	return topk.ReverseTopK(g, q, k)
+}
+
+// ReverseTopKBichromatic is ReverseTopK under Definitions 3-4: results
+// come from the candidate class and ranks count the counted class (nil
+// slices admit all nodes). The paper's Figure-5 case study is a reverse
+// top-1 query of this form.
+func ReverseTopKBichromatic(g *Graph, q int32, k int, candidates, counted []bool) []Entry {
+	return topk.ReverseTopKBichromatic(g, q, k, candidates, counted)
+}
+
+// Distance returns the shortest-path distance from src to dst; ok is false
+// when dst is unreachable.
+func Distance(g *Graph, src, dst int32) (float64, bool) {
+	return sssp.Distance(sssp.New(g), src, dst)
+}

@@ -1,0 +1,286 @@
+package rkranks_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"rkranks"
+)
+
+// toyGraph rebuilds the paper's Figure-1 example through the public API.
+func toyGraph() (*rkranks.Graph, map[string]int32) {
+	b := rkranks.NewBuilder(false)
+	id := map[string]int32{}
+	for _, n := range []string{"Alice", "Bob", "Caroline", "Sid", "Eric", "Frank", "George"} {
+		id[n] = b.AddLabeledNode(n)
+	}
+	edges := []struct {
+		u, v string
+		w    float64
+	}{
+		{"Alice", "Bob", 1.0}, {"Bob", "Eric", 0.2}, {"Bob", "Caroline", 0.3},
+		{"Caroline", "Sid", 1.2}, {"Eric", "Frank", 0.9}, {"Eric", "Sid", 1.0},
+		{"Eric", "George", 1.1}, {"Frank", "George", 0.2},
+	}
+	for _, e := range edges {
+		b.MustAddEdge(id[e.u], id[e.v], e.w)
+	}
+	return b.Finalize(), id
+}
+
+func TestPublicQuickstart(t *testing.T) {
+	g, id := toyGraph()
+	res, err := rkranks.ReverseKRanks(g, id["Alice"], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || g.Label(res[0].Node) != "Bob" || g.Label(res[1].Node) != "Caroline" {
+		t.Fatalf("reverse 2-ranks of Alice = %v", res)
+	}
+	if res[0].Rank != 3 || res[1].Rank != 4 {
+		t.Fatalf("ranks = %v", res)
+	}
+}
+
+func TestPublicAllAlgorithms(t *testing.T) {
+	g, id := toyGraph()
+	e := rkranks.NewEngine(g, rkranks.Options{})
+	ix, err := rkranks.BuildIndex(g, rkranks.IndexParams{
+		HubFraction: 0.5, RankFraction: 0.5, MaxK: 4, Strategy: rkranks.DegreeHubs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetIndex(ix)
+	for _, algo := range []rkranks.Algorithm{rkranks.Naive, rkranks.Static, rkranks.Dynamic, rkranks.Indexed} {
+		res, err := e.Query(algo, id["Eric"], 2)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if len(res.Entries) != 2 || res.Entries[0].Rank != 1 || res.Entries[1].Rank != 1 {
+			t.Errorf("%v: %v", algo, res.Entries)
+		}
+	}
+}
+
+func TestPublicRankDistanceTopK(t *testing.T) {
+	g, id := toyGraph()
+	if r := rkranks.Rank(g, id["Bob"], id["Alice"]); r != 3 {
+		t.Errorf("Rank(Bob,Alice) = %d, want 3", r)
+	}
+	if d, ok := rkranks.Distance(g, id["Alice"], id["Eric"]); !ok || d != 1.2 {
+		t.Errorf("Distance = %g/%v", d, ok)
+	}
+	top := rkranks.TopK(g, id["Alice"], 2)
+	if len(top) != 2 || g.Label(top[0].Node) != "Bob" || top[0].Rank != 1 {
+		t.Errorf("TopK = %v", top)
+	}
+	rtk := rkranks.ReverseTopK(g, id["Eric"], 2)
+	if len(rtk) != 6 {
+		t.Errorf("ReverseTopK size = %d, want 6", len(rtk))
+	}
+}
+
+func TestPublicGraphIO(t *testing.T) {
+	g, id := toyGraph()
+	path := filepath.Join(t.TempDir(), "toy.rkg")
+	if err := rkranks.WriteGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rkranks.ReadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.M() != g.M() {
+		t.Fatalf("round trip shape: %d/%d", got.N(), got.M())
+	}
+	if back, ok := got.NodeByLabel("Eric"); !ok || back != id["Eric"] {
+		t.Error("labels lost")
+	}
+	res, err := rkranks.ReverseKRanks(got, id["Alice"], 2)
+	if err != nil || len(res) != 2 {
+		t.Fatalf("query on reloaded graph: %v, %v", res, err)
+	}
+}
+
+func TestBuildIndexValidation(t *testing.T) {
+	g, _ := toyGraph()
+	bad := []rkranks.IndexParams{
+		{HubFraction: 0, RankFraction: 0.1, MaxK: 5},
+		{HubFraction: 1.5, RankFraction: 0.1, MaxK: 5},
+		{HubFraction: 0.1, RankFraction: 0, MaxK: 5},
+		{HubFraction: 0.1, RankFraction: 0.1, MaxK: 0},
+	}
+	for i, p := range bad {
+		if _, err := rkranks.BuildIndex(g, p); err == nil {
+			t.Errorf("params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestPublicBichromatic(t *testing.T) {
+	// 5-node path; nodes 0 and 4 are "stores", the rest communities.
+	b := rkranks.NewBuilder(false)
+	for i := 0; i < 5; i++ {
+		b.AddNode()
+	}
+	for i := 0; i < 4; i++ {
+		b.MustAddEdge(int32(i), int32(i+1), 1)
+	}
+	g := b.Finalize()
+	candidates := []bool{false, true, true, true, false}
+	counted := []bool{true, false, false, false, true}
+	e := rkranks.NewEngine(g, rkranks.Options{Candidates: candidates, Counted: counted})
+	res, err := e.Query(rkranks.Dynamic, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Communities 1 and 2 rank store 0 first (closer than store 4).
+	if len(res.Entries) != 2 {
+		t.Fatalf("entries = %v", res.Entries)
+	}
+	for _, en := range res.Entries[:2] {
+		if en.Node != 1 && en.Node != 2 {
+			t.Errorf("unexpected community %d", en.Node)
+		}
+		if en.Rank != 1 {
+			t.Errorf("rank = %d, want 1", en.Rank)
+		}
+	}
+	// Querying a non-counted node must fail.
+	if _, err := e.Query(rkranks.Dynamic, 2, 1); err == nil {
+		t.Error("bichromatic query from candidate class accepted")
+	}
+}
+
+func TestPublicPool(t *testing.T) {
+	g, id := toyGraph()
+	pool := rkranks.NewPool(g, rkranks.Options{}, 2)
+	results, err := pool.QueryMany(rkranks.Dynamic, []int32{id["Alice"], id["Eric"]}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || len(results[0].Entries) != 2 || results[1].Entries[0].Rank != 1 {
+		t.Fatalf("pool results: %v", results)
+	}
+}
+
+func TestIndexSaveLoad(t *testing.T) {
+	g, id := toyGraph()
+	ix, err := rkranks.BuildIndex(g, rkranks.IndexParams{
+		HubFraction: 0.5, RankFraction: 0.5, MaxK: 4, Strategy: rkranks.DegreeHubs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "toy.rki")
+	if err := rkranks.SaveIndex(path, ix); err != nil {
+		t.Fatal(err)
+	}
+	back, err := rkranks.LoadIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rkranks.NewEngine(g, rkranks.Options{})
+	e.SetIndex(back)
+	res, err := e.Query(rkranks.Indexed, id["Alice"], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 2 || res.Entries[0].Rank != 3 {
+		t.Fatalf("query via reloaded index: %v", res.Entries)
+	}
+	if _, err := rkranks.LoadIndex(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing index accepted")
+	}
+}
+
+func TestDistanceCutoffAblationSameResults(t *testing.T) {
+	g, id := toyGraph()
+	plain := rkranks.NewEngine(g, rkranks.Options{})
+	ablate := rkranks.NewEngine(g, rkranks.Options{DisableDistanceCutoff: true})
+	for _, q := range id {
+		a, err := plain.Query(rkranks.Dynamic, q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ablate.Query(rkranks.Dynamic, q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Entries) != len(b.Entries) {
+			t.Fatalf("cutoff changed result size for q=%d", q)
+		}
+		for i := range a.Entries {
+			if a.Entries[i] != b.Entries[i] {
+				t.Fatalf("cutoff changed results for q=%d: %v vs %v", q, a.Entries, b.Entries)
+			}
+		}
+	}
+}
+
+func TestPublicPPR(t *testing.T) {
+	g, id := toyGraph()
+	p := rkranks.PPRParams{Alpha: 0.15}
+	scores, err := rkranks.PersonalizedPageRank(g, id["Alice"], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range scores {
+		sum += s
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("PPR sums to %g", sum)
+	}
+	res, err := rkranks.ReverseKRanksPPR(g, id["Alice"], 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("PPR reverse 2-ranks = %v", res)
+	}
+	// Bob, Alice's only neighbor, must rank her highest of anyone.
+	if res[0].Node != id["Bob"] {
+		t.Errorf("PPR top result = %v, want Bob", res[0])
+	}
+	if _, err := rkranks.ReverseKRanksPPR(g, id["Alice"], 2, rkranks.PPRParams{Alpha: 2}); err == nil {
+		t.Error("bad alpha accepted")
+	}
+}
+
+func TestPublicReverseTopKBichromatic(t *testing.T) {
+	// Path 0-1-2-3-4 with stores at the ends.
+	b := rkranks.NewBuilder(false)
+	for i := 0; i < 5; i++ {
+		b.AddNode()
+	}
+	for i := 0; i < 4; i++ {
+		b.MustAddEdge(int32(i), int32(i+1), 1)
+	}
+	g := b.Finalize()
+	candidates := []bool{false, true, true, true, false}
+	counted := []bool{true, false, false, false, true}
+	res := rkranks.ReverseTopKBichromatic(g, 0, 1, candidates, counted)
+	// Communities 1 and 2 are nearer to store 0 than to store 4 (node 2
+	// ties at distance 2 from both, so both stores rank 1 from it).
+	if len(res) != 2 {
+		t.Fatalf("reverse top-1 of store 0 = %v", res)
+	}
+	for _, e := range res {
+		if e.Node != 1 && e.Node != 2 {
+			t.Errorf("unexpected community %d", e.Node)
+		}
+	}
+}
+
+func TestRankUnreachableConstant(t *testing.T) {
+	b := rkranks.NewBuilder(true)
+	b.AddNode()
+	b.AddNode()
+	b.MustAddEdge(0, 1, 1)
+	g := b.Finalize()
+	if r := rkranks.Rank(g, 1, 0); r != rkranks.RankUnreachable {
+		t.Errorf("Rank = %d, want RankUnreachable", r)
+	}
+}

@@ -8,6 +8,7 @@
 //	rkbench -exp all                 # the full suite at the default scale
 //	rkbench -exp figure6 -scale small
 //	rkbench -exp table11 -queries 200 -seed 7
+//	rkbench -exp serving -workers 8  # pooled Indexed QPS on a shared index
 //	rkbench -list
 package main
 
@@ -38,6 +39,7 @@ func run(args []string, stdout io.Writer) error {
 		exp     = fs.String("exp", "all", "experiment name or 'all' (see -list)")
 		scale   = fs.String("scale", "default", "dataset scale: small|default")
 		queries = fs.Int("queries", 0, "override queries per measurement point")
+		workers = fs.Int("workers", 0, "max pool workers for the serving experiment (0 = GOMAXPROCS)")
 		seed    = fs.Int64("seed", 0, "override random seed")
 		ksFlag  = fs.String("ks", "", "override k axis, comma separated (e.g. 5,10,20)")
 		list    = fs.Bool("list", false, "list experiment names and exit")
@@ -64,6 +66,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *queries > 0 {
 		cfg.Queries = *queries
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed

@@ -167,7 +167,7 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-func obtainIndex(o *cliOptions, g *graph.Graph, stdout io.Writer) (*ridx.Index, error) {
+func obtainIndex(o *cliOptions, g *graph.Graph, stdout io.Writer) (ridx.Index, error) {
 	if o.loadIndex != "" {
 		f, err := os.Open(o.loadIndex)
 		if err != nil {
@@ -207,7 +207,7 @@ func obtainIndex(o *cliOptions, g *graph.Graph, stdout io.Writer) (*ridx.Index, 
 	return ix, nil
 }
 
-func writeIndex(path string, ix *ridx.Index) error {
+func writeIndex(path string, ix ridx.Index) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -1,0 +1,3 @@
+module rkranks
+
+go 1.24

@@ -128,6 +128,16 @@ func (e *Engine) indexed(q int32, k int) *Result {
 			e.passThrough(v, d)
 			continue
 		}
+		// Read Check BEFORE LookupRank. Check(v) only bounds Rank(v, q)
+		// when q is not recorded in Reverse(q) with source v, and index
+		// writers publish the witness entry before raising the bound
+		// (Offer, then RaiseCheck — see refine). Reading in the matching
+		// order guarantees that a bound covering the (v, q) exception is
+		// always read together with its visible witness; the reverse order
+		// could, on a shared concurrent index, observe a freshly raised
+		// bound while missing the just-offered exact rank and wrongly
+		// prune a true result.
+		check := e.idx.Check(v)
 		if r, known := e.idx.LookupRank(q, v); known {
 			e.stats.IndexHits++
 			e.setDescBound(v, e.descBound(v, r))
@@ -141,7 +151,7 @@ func (e *Engine) indexed(q int32, k int) *Result {
 			e.trace(v, d, TraceIndexHit, r, expand)
 			continue
 		}
-		lb := e.lowerBound(v, e.idx.Check(v))
+		lb := e.lowerBound(v, check)
 		if lb >= e.heap.kRank() {
 			e.skipCandidate(v, d, lb)
 			continue

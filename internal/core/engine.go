@@ -15,12 +15,16 @@ import (
 // node arrays), so queries after the first allocate nothing.
 //
 // An Engine is not safe for concurrent use; create one per goroutine. An
-// attached Index is mutated by Indexed queries (that is the point of the
-// dynamic index), so concurrent engines must not share an Index.
+// attached index is both read and written by Indexed queries (that is the
+// point of the dynamic index): concurrent engines may share one index if
+// and only if it is a concurrency-safe implementation (ridx.ShardedIndex,
+// reported by Index.Concurrent) — a Pool built with NewPoolWithIndex
+// arranges exactly that. A ridx.SerialIndex must stay private to one
+// engine.
 type Engine struct {
 	g    *graph.Graph
 	opts Options
-	idx  *ridx.Index
+	idx  ridx.Index
 
 	tree *sssp.Search // transpose traversal from q (SDS-tree)
 	ref  *sssp.Search // forward traversal for rank refinements
@@ -83,7 +87,7 @@ func (e *Engine) Options() Options { return e.opts }
 
 // SetIndex attaches (or detaches, with nil) the dynamic index used by
 // Indexed queries. The index must cover the engine's graph.
-func (e *Engine) SetIndex(ix *ridx.Index) {
+func (e *Engine) SetIndex(ix ridx.Index) {
 	if ix != nil && ix.N() != e.g.N() {
 		panic(fmt.Sprintf("core: index covers %d nodes, graph has %d", ix.N(), e.g.N()))
 	}
@@ -91,7 +95,7 @@ func (e *Engine) SetIndex(ix *ridx.Index) {
 }
 
 // Index returns the attached index, if any.
-func (e *Engine) Index() *ridx.Index { return e.idx }
+func (e *Engine) Index() ridx.Index { return e.idx }
 
 // Query runs algorithm a for query node q with result size k.
 func (e *Engine) Query(a Algorithm, q int32, k int) (*Result, error) {
@@ -356,7 +360,10 @@ func (e *Engine) refine(p int32, dpq float64) (bound int32, exact bool) {
 				e.idx.Offer(e.q, p, bound)
 			}
 			// Any node not settled by this search ranks at least as high
-			// as the last settled one (see ridx package docs).
+			// as the last settled one (see ridx package docs). The raise
+			// must come after the Offers above: on a shared concurrent
+			// index, a reader that sees this bound must also see the
+			// witness entries it exempts (readers load Check first).
 			e.idx.RaiseCheck(p, bound)
 		}
 	}

@@ -4,31 +4,68 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"rkranks/internal/graph"
+	"rkranks/internal/ridx"
 )
 
 // Pool serves reverse k-ranks queries concurrently. Engines are not safe
 // for concurrent use (they own per-query workspaces), so the pool keeps one
 // engine per permit and hands them out to callers.
 //
-// Pools support the index-free algorithms (Naive, Static, Dynamic), which
-// only read the shared graph. Indexed queries mutate their index as a side
-// effect — that is the point of the Section-5 dynamic index — so they are
-// deliberately not poolable; run them on a dedicated Engine.
+// The index-free algorithms (Naive, Static, Dynamic) only read the shared
+// graph and are always poolable. Indexed queries additionally read and
+// write their index — that is the point of the Section-5 dynamic index —
+// so they are accepted only when the pool was built over a concurrency-safe
+// index (NewPoolWithIndex with a ridx.ShardedIndex): all engines then share
+// that one index, and every query's refinements make it better for the
+// whole pool.
 type Pool struct {
 	engines chan *Engine
+	idx     ridx.Index // shared concurrency-safe index, nil for index-free pools
 }
 
 // NewPool returns a pool of size engines over g (size <= 0 uses
-// runtime.GOMAXPROCS(0)).
+// runtime.GOMAXPROCS(0)). The pool serves the index-free algorithms; use
+// NewPoolWithIndex to serve Indexed queries too.
 func NewPool(g *graph.Graph, opts Options, size int) *Pool {
+	return newPool(g, opts, size, nil)
+}
+
+// NewPoolWithIndex returns a pool whose engines share ix, making Indexed
+// the recommended algorithm for every query: concurrent queries all read
+// the same dictionaries and feed their refinements back into them. The
+// index must be concurrency-safe (ix.Concurrent(), i.e. a
+// ridx.ShardedIndex — build one with ridx.BuildSharded or convert a loaded
+// serial index with Sharded); a serial index is rejected rather than
+// silently racing.
+func NewPoolWithIndex(g *graph.Graph, opts Options, size int, ix ridx.Index) (*Pool, error) {
+	// The type assertion also catches a typed-nil *ShardedIndex boxed in
+	// the interface, which would pass the plain nil check and panic later.
+	if sh, ok := ix.(*ridx.ShardedIndex); ix == nil || (ok && sh == nil) {
+		return nil, fmt.Errorf("core: NewPoolWithIndex requires an index; use NewPool for index-free pools")
+	}
+	if !ix.Concurrent() {
+		return nil, fmt.Errorf("core: pooled Indexed queries need a concurrency-safe index (ridx.ShardedIndex); this index must stay private to one engine")
+	}
+	if ix.N() != g.N() {
+		return nil, fmt.Errorf("core: index covers %d nodes, graph has %d", ix.N(), g.N())
+	}
+	return newPool(g, opts, size, ix), nil
+}
+
+func newPool(g *graph.Graph, opts Options, size int, ix ridx.Index) *Pool {
 	if size <= 0 {
 		size = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{engines: make(chan *Engine, size)}
+	p := &Pool{engines: make(chan *Engine, size), idx: ix}
 	for i := 0; i < size; i++ {
-		p.engines <- NewEngine(g, opts)
+		e := NewEngine(g, opts)
+		if ix != nil {
+			e.SetIndex(ix)
+		}
+		p.engines <- e
 	}
 	return p
 }
@@ -36,11 +73,14 @@ func NewPool(g *graph.Graph, opts Options, size int) *Pool {
 // Size returns the number of engines in the pool.
 func (p *Pool) Size() int { return cap(p.engines) }
 
+// Index returns the shared index, or nil for an index-free pool.
+func (p *Pool) Index() ridx.Index { return p.idx }
+
 // Query borrows an engine, runs the query, and returns the engine to the
 // pool. Safe for concurrent use.
 func (p *Pool) Query(a Algorithm, q int32, k int) (*Result, error) {
-	if a == Indexed {
-		return nil, fmt.Errorf("core: Indexed queries mutate their index and cannot run on a Pool; use a dedicated Engine")
+	if a == Indexed && p.idx == nil {
+		return nil, fmt.Errorf("core: Indexed queries need a shared concurrency-safe index; build the pool with NewPoolWithIndex")
 	}
 	e := <-p.engines
 	defer func() { p.engines <- e }()
@@ -48,28 +88,41 @@ func (p *Pool) Query(a Algorithm, q int32, k int) (*Result, error) {
 }
 
 // QueryMany evaluates one query per element of queries concurrently and
-// returns the results in input order. The first error (if any) is
-// returned; remaining queries still run to completion.
+// returns the results in input order. Concurrency is bounded by the pool
+// size — workers pull queries from a shared counter, so a million-query
+// batch costs pool-size goroutines, not a million. The first error (if
+// any) is returned; remaining queries still run to completion.
 func (p *Pool) QueryMany(a Algorithm, queries []int32, k int) ([]*Result, error) {
 	results := make([]*Result, len(queries))
+	workers := p.Size()
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
-	for i, q := range queries {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, q int32) {
+		go func() {
 			defer wg.Done()
-			res, err := p.Query(a, q, k)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
 				}
-				mu.Unlock()
-				return
+				res, err := p.Query(a, queries[i], k)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				results[i] = res
 			}
-			results[i] = res
-		}(i, q)
+		}()
 	}
 	wg.Wait()
 	if firstErr != nil {

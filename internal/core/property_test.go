@@ -13,7 +13,7 @@ import (
 	tg "rkranks/internal/testgraphs"
 )
 
-func mustIndex(t testing.TB, g *graph.Graph) *ridx.Index {
+func mustIndex(t testing.TB, g *graph.Graph) *ridx.SerialIndex {
 	t.Helper()
 	ix, err := ridx.Build(g, ridx.BuildParams{
 		Hubs: hub.Select(g, hub.DegreeFirst, g.N()/8+1, hub.Options{}),

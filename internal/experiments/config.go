@@ -45,6 +45,10 @@ type Config struct {
 	// First).
 	Strategy hub.Strategy
 
+	// Workers is the maximum worker count the serving experiment sweeps
+	// to (<= 0 uses GOMAXPROCS).
+	Workers int
+
 	Seed int64
 }
 
@@ -79,6 +83,7 @@ func Small() Config {
 		HFracs:   []float64{0.03, 0.1, 0.15},
 		MFracs:   []float64{0.03, 0.1, 0.15},
 		Strategy: hub.DegreeFirst,
+		Workers:  4,
 		Seed:     1,
 	}
 }

@@ -93,7 +93,7 @@ func (r *Runner) Road() (*graph.Graph, []int32) {
 // buildIndex constructs an index with the runner's default (or overridden)
 // parameters for the given graph. For bichromatic graphs pass the class
 // slices; only candidate hubs may contribute entries (see ridx).
-func (r *Runner) buildIndex(g *graph.Graph, hFrac, mFrac float64, strat hub.Strategy, candidates, counted []bool) (*ridx.Index, time.Duration, error) {
+func (r *Runner) buildIndex(g *graph.Graph, hFrac, mFrac float64, strat hub.Strategy, candidates, counted []bool) (*ridx.SerialIndex, time.Duration, error) {
 	h := frac(g.N(), hFrac)
 	m := frac(g.N(), mFrac)
 	start := time.Now()
@@ -145,7 +145,8 @@ func runBatch(e *core.Engine, algo core.Algorithm, queries []int32, k int) (batc
 	return b, nil
 }
 
-// Experiment names, in paper order.
+// Experiment names, in paper order; "serving" extends the paper's
+// evaluation with the pooled-concurrency throughput study.
 var names = []string{
 	"table3", "table4", "figure5",
 	"figure6", "naive",
@@ -153,6 +154,7 @@ var names = []string{
 	"table11", "table12", "table13",
 	"table14", "table15",
 	"figure7",
+	"serving",
 }
 
 // Names lists all experiment identifiers in paper order.
@@ -207,6 +209,9 @@ func (r *Runner) Run(name string) ([]*stats.Table, error) {
 		return wrap(t), err
 	case "figure7":
 		return r.Figure7()
+	case "serving":
+		t, err := r.Serving()
+		return wrap(t), err
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, names)
 }

@@ -8,49 +8,38 @@ import (
 	"rkranks/internal/sssp"
 )
 
-// BuildParallel builds the same index as Build using worker goroutines
-// (workers <= 0 uses GOMAXPROCS). Hub searches are independent, so each
-// worker accumulates a private partial index over its share of hubs; the
-// partials are then merged by re-offering every entry. The result is
-// identical to Build's regardless of worker count or scheduling, because
-// Offer is order-independent: entries are exact (u, rank) facts and the
-// per-node list keeps the best maxK by (rank, node).
-func BuildParallel(g *graph.Graph, p BuildParams, workers int) (*Index, error) {
+// BuildParallel builds the same serial index as Build using worker
+// goroutines (workers <= 0 uses GOMAXPROCS). Hub searches are independent,
+// so each worker accumulates a private partial index over its share of
+// hubs; the partials are then merged by re-offering every entry. The
+// result is identical to Build's regardless of worker count or scheduling,
+// because Offer is order-independent: entries are exact (u, rank) facts
+// and the per-node list keeps the best maxK by (rank, node).
+//
+// For an index that will be shared by concurrent engines afterwards, use
+// BuildSharded instead, which writes a ShardedIndex directly.
+func BuildParallel(g *graph.Graph, p BuildParams, workers int) (*SerialIndex, error) {
 	if err := checkParams(p); err != nil {
 		return nil, err
 	}
 	hubs := p.eligibleHubs()
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(hubs) {
-		workers = len(hubs)
-	}
+	workers = clampWorkers(workers, len(hubs))
 	out := New(g.N(), p.K)
 	out.hubs = hubs
 	if workers <= 1 {
-		s := sssp.New(g)
-		for _, h := range hubs {
-			out.addHub(s, h, p.M, p.Counted)
-		}
+		forEachHub(g, hubs, 1, func(_ int, s *sssp.Search, h int32) {
+			addHub(out, s, h, p.M, p.Counted)
+		})
 		return out, nil
 	}
 
-	partials := make([]*Index, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			part := New(g.N(), p.K)
-			s := sssp.New(g)
-			for i := w; i < len(hubs); i += workers {
-				part.addHub(s, hubs[i], p.M, p.Counted)
-			}
-			partials[w] = part
-		}(w)
+	partials := make([]*SerialIndex, workers)
+	for w := range partials {
+		partials[w] = New(g.N(), p.K)
 	}
-	wg.Wait()
+	forEachHub(g, hubs, workers, func(w int, s *sssp.Search, h int32) {
+		addHub(partials[w], s, h, p.M, p.Counted)
+	})
 
 	for _, part := range partials {
 		for v, list := range part.rrd {
@@ -63,4 +52,48 @@ func BuildParallel(g *graph.Graph, p BuildParams, workers int) (*Index, error) {
 		}
 	}
 	return out, nil
+}
+
+// clampWorkers resolves a requested worker count against the hub count:
+// <= 0 means GOMAXPROCS, never more workers than hubs, never fewer than 1.
+func clampWorkers(workers, hubs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > hubs {
+		workers = hubs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// forEachHub invokes fn(worker, search, hub) for every hub across workers
+// goroutines (already clamped by clampWorkers), one private sssp.Search
+// per worker; workers <= 1 runs inline with no goroutine. Hubs are dealt
+// round-robin, so worker w sees hubs w, w+workers, ... — fn must be safe
+// for concurrent invocation across different workers (BuildSharded streams
+// all workers into one shared ShardedIndex; BuildParallel gives each
+// worker its own partial via the worker id).
+func forEachHub(g *graph.Graph, hubs []int32, workers int, fn func(w int, s *sssp.Search, h int32)) {
+	if workers <= 1 {
+		s := sssp.New(g)
+		for _, h := range hubs {
+			fn(0, s, h)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := sssp.New(g)
+			for i := w; i < len(hubs); i += workers {
+				fn(w, s, hubs[i])
+			}
+		}(w)
+	}
+	wg.Wait()
 }

@@ -8,6 +8,24 @@
 // every rank refinement performed by the indexed engine feeds its settled
 // nodes back into both dictionaries, so the index keeps getting better.
 //
+// # Implementations and concurrency
+//
+// Index is an interface over two implementations sharing one on-disk
+// format:
+//
+//   - SerialIndex — the plain single-goroutine structure. Fastest for a
+//     dedicated engine; not safe for concurrent use.
+//   - ShardedIndex — lock-striped dictionaries (per-stripe RWMutex with
+//     copy-on-write entry lists, atomic Check bounds). Safe for any mix of
+//     concurrent readers and writers, so one index can back a whole pool
+//     of indexed engines and keep learning from all of them at once.
+//
+// Dictionary updates commute: entries are exact (u, Rank(u, v)) facts kept
+// best-maxK by (rank, node), and Check bounds only grow. Interleaving
+// updates from concurrent queries therefore yields the same dictionaries
+// as any serial ordering of those updates — the sharded index accepts
+// writes from many engines without coordination beyond its stripes.
+//
 // # Check Dictionary semantics
 //
 // Check(u) = c is a certified lower bound: for any node v that is NOT
@@ -30,22 +48,67 @@ import (
 	"rkranks/internal/sssp"
 )
 
-// Index is the two-dictionary structure of Section 5.2. It is not safe for
-// concurrent use: the indexed query engine both reads and writes it.
-type Index struct {
+// Index is the two-dictionary structure of Section 5.2, as an interface
+// over the serial and sharded implementations. All methods operate on
+// exact facts (see the package docs), so every implementation answers
+// queries identically; they differ only in whether concurrent use is safe
+// (reported by Concurrent).
+type Index interface {
+	// MaxK returns the largest query k the index supports.
+	MaxK() int
+	// Hubs returns the hub nodes the index was built from.
+	Hubs() []int32
+	// N returns the number of nodes covered.
+	N() int
+	// Check returns the Check Dictionary bound for u (0 when u was never
+	// the source of a recorded search).
+	Check(u int32) int32
+	// RaiseCheck raises the Check Dictionary bound for u; bounds only grow
+	// (each recorded search certifies at least what previous ones did).
+	RaiseCheck(u, bound int32)
+	// Reverse returns the stored reverse-rank list of v, ordered by
+	// (rank, node). Callers must not modify the returned slice. For the
+	// serial index it aliases mutable storage and must not be held across
+	// Offer calls; the sharded index returns an immutable snapshot.
+	Reverse(v int32) []rank.Entry
+	// LookupRank returns Rank(u, v) when the pair is recorded.
+	LookupRank(v, u int32) (int32, bool)
+	// Offer records Rank(u, v) = r in the Reverse Rank Dictionary of v,
+	// keeping only the best maxK entries ordered by (rank, node). Ranks are
+	// exact, so a re-offered pair is ignored. It reports whether the
+	// dictionary changed.
+	Offer(v, u, r int32) bool
+	// Entries returns the total number of reverse-rank entries stored.
+	Entries() int64
+	// SizeBytes estimates the in-memory footprint of the index payload.
+	SizeBytes() int64
+	// Write serializes the index; both implementations produce the same
+	// format, readable by Read (serial) or ReadSharded (sharded).
+	Write(w io.Writer) error
+	// Concurrent reports whether the index is safe for concurrent use by
+	// multiple engines (true only for ShardedIndex). Pools require it
+	// before accepting Indexed queries.
+	Concurrent() bool
+}
+
+// SerialIndex is the single-goroutine Index implementation. It is not safe
+// for concurrent use: the indexed query engine both reads and writes it.
+// Use ShardedIndex (or SerialIndex.Sharded) to share an index between
+// engines.
+type SerialIndex struct {
 	maxK  int
 	hubs  []int32
 	check []int32
 	rrd   [][]rank.Entry
 }
 
-// New returns an empty index over n nodes supporting reverse k-ranks
-// queries with k <= maxK.
-func New(n, maxK int) *Index {
+// New returns an empty serial index over n nodes supporting reverse
+// k-ranks queries with k <= maxK.
+func New(n, maxK int) *SerialIndex {
 	if maxK < 1 {
 		panic("ridx: maxK must be >= 1")
 	}
-	return &Index{
+	return &SerialIndex{
 		maxK:  maxK,
 		check: make([]int32, n),
 		rrd:   make([][]rank.Entry, n),
@@ -72,10 +135,10 @@ type BuildParams struct {
 	Candidates []bool
 }
 
-// Build precomputes the index: an M-step ranked SSSP from every hub
+// Build precomputes a serial index: an M-step ranked SSSP from every hub
 // (Section 5.2). The per-hub cost is O(M log M + E*) where E* is the number
 // of arcs incident to the M settled nodes.
-func Build(g *graph.Graph, p BuildParams) (*Index, error) {
+func Build(g *graph.Graph, p BuildParams) (*SerialIndex, error) {
 	if err := checkParams(p); err != nil {
 		return nil, err
 	}
@@ -83,7 +146,7 @@ func Build(g *graph.Graph, p BuildParams) (*Index, error) {
 	ix.hubs = p.eligibleHubs()
 	s := sssp.New(g)
 	for _, h := range ix.hubs {
-		ix.addHub(s, h, p.M, p.Counted)
+		addHub(ix, s, h, p.M, p.Counted)
 	}
 	return ix, nil
 }
@@ -100,7 +163,10 @@ func (p BuildParams) eligibleHubs() []int32 {
 	return out
 }
 
-func (ix *Index) addHub(s *sssp.Search, hub int32, m int, counted []bool) {
+// addHub runs the M-step ranked SSSP from hub and feeds the results into
+// ix. It works against the Index interface so serial builds, parallel
+// merge builds, and direct-to-sharded builds share one definition.
+func addHub(ix Index, s *sssp.Search, hub int32, m int, counted []bool) {
 	s.Reset(hub)
 	strictBelow := 0
 	settledCounted := 0
@@ -143,21 +209,25 @@ func checkParams(p BuildParams) error {
 }
 
 // MaxK returns the largest query k the index supports.
-func (ix *Index) MaxK() int { return ix.maxK }
+func (ix *SerialIndex) MaxK() int { return ix.maxK }
 
 // Hubs returns the hub nodes the index was built from.
-func (ix *Index) Hubs() []int32 { return ix.hubs }
+func (ix *SerialIndex) Hubs() []int32 { return ix.hubs }
 
 // N returns the number of nodes covered.
-func (ix *Index) N() int { return len(ix.check) }
+func (ix *SerialIndex) N() int { return len(ix.check) }
+
+// Concurrent reports that a SerialIndex must not be shared between
+// goroutines.
+func (ix *SerialIndex) Concurrent() bool { return false }
 
 // Check returns the Check Dictionary bound for u (0 when u was never the
 // source of a recorded search).
-func (ix *Index) Check(u int32) int32 { return ix.check[u] }
+func (ix *SerialIndex) Check(u int32) int32 { return ix.check[u] }
 
 // RaiseCheck raises the Check Dictionary bound for u; bounds only grow
 // (each recorded search certifies at least what previous ones did).
-func (ix *Index) RaiseCheck(u, bound int32) {
+func (ix *SerialIndex) RaiseCheck(u, bound int32) {
 	if bound > ix.check[u] {
 		ix.check[u] = bound
 	}
@@ -166,11 +236,15 @@ func (ix *Index) RaiseCheck(u, bound int32) {
 // Reverse returns the stored reverse-rank list of v, ordered by
 // (rank, node). The returned slice aliases index storage; callers must not
 // modify it and must not hold it across Offer calls.
-func (ix *Index) Reverse(v int32) []rank.Entry { return ix.rrd[v] }
+func (ix *SerialIndex) Reverse(v int32) []rank.Entry { return ix.rrd[v] }
 
 // LookupRank returns Rank(u, v) when the pair is recorded.
-func (ix *Index) LookupRank(v, u int32) (int32, bool) {
-	for _, e := range ix.rrd[v] {
+func (ix *SerialIndex) LookupRank(v, u int32) (int32, bool) {
+	return lookupRank(ix.rrd[v], u)
+}
+
+func lookupRank(list []rank.Entry, u int32) (int32, bool) {
+	for _, e := range list {
 		if e.Node == u {
 			return e.Rank, true
 		}
@@ -178,37 +252,67 @@ func (ix *Index) LookupRank(v, u int32) (int32, bool) {
 	return 0, false
 }
 
+// offerPos locates where (u, r) would sit in a (rank, node)-ordered entry
+// list; dup reports that u is already recorded (ranks are exact, so a
+// re-offer is always a no-op).
+func offerPos(list []rank.Entry, u, r int32) (pos int, dup bool) {
+	for _, e := range list {
+		if e.Node == u {
+			return 0, true
+		}
+	}
+	pos = len(list)
+	for i, e := range list {
+		if r < e.Rank || (r == e.Rank && u < e.Node) {
+			return i, false
+		}
+	}
+	return pos, false
+}
+
+// offerToList merges (u, r) into a best-maxK entry list ordered by
+// (rank, node). When inPlace is true the input slice is mutated (serial
+// index); otherwise a changed list is a fresh allocation and the input is
+// left intact (copy-on-write for the sharded index, whose readers hold
+// published slices without locks). changed reports whether the dictionary
+// gained or reordered an entry.
+func offerToList(list []rank.Entry, u, r int32, maxK int, inPlace bool) (out []rank.Entry, changed bool) {
+	pos, dup := offerPos(list, u, r)
+	if dup || pos >= maxK {
+		return list, false
+	}
+	if inPlace {
+		if len(list) < maxK {
+			list = append(list, rank.Entry{})
+		}
+		copy(list[pos+1:], list[pos:])
+		list[pos] = rank.Entry{Node: u, Rank: r}
+		return list, true
+	}
+	n := len(list) + 1
+	if n > maxK {
+		n = maxK
+	}
+	fresh := make([]rank.Entry, n)
+	copy(fresh, list[:pos])
+	fresh[pos] = rank.Entry{Node: u, Rank: r}
+	copy(fresh[pos+1:], list[pos:])
+	return fresh, true
+}
+
 // Offer records Rank(u, v) = r in the Reverse Rank Dictionary of v, keeping
 // only the best maxK entries ordered by (rank, node). Ranks are exact, so a
 // re-offered pair is ignored. It reports whether the dictionary changed.
-func (ix *Index) Offer(v, u int32, r int32) bool {
-	list := ix.rrd[v]
-	for _, e := range list {
-		if e.Node == u {
-			return false // already recorded (ranks are exact)
-		}
+func (ix *SerialIndex) Offer(v, u, r int32) bool {
+	list, changed := offerToList(ix.rrd[v], u, r, ix.maxK, true)
+	if changed {
+		ix.rrd[v] = list
 	}
-	pos := len(list)
-	for i, e := range list {
-		if r < e.Rank || (r == e.Rank && u < e.Node) {
-			pos = i
-			break
-		}
-	}
-	if pos >= ix.maxK {
-		return false
-	}
-	if len(list) < ix.maxK {
-		list = append(list, rank.Entry{})
-	}
-	copy(list[pos+1:], list[pos:])
-	list[pos] = rank.Entry{Node: u, Rank: r}
-	ix.rrd[v] = list
-	return true
+	return changed
 }
 
 // Entries returns the total number of reverse-rank entries stored.
-func (ix *Index) Entries() int64 {
+func (ix *SerialIndex) Entries() int64 {
 	var n int64
 	for _, l := range ix.rrd {
 		n += int64(len(l))
@@ -219,15 +323,19 @@ func (ix *Index) Entries() int64 {
 // SizeBytes estimates the in-memory footprint of the index payload
 // (dictionary entries and check bounds), mirroring the "Index Size" columns
 // of Tables 6-9.
-func (ix *Index) SizeBytes() int64 {
+func (ix *SerialIndex) SizeBytes() int64 {
+	return sizeBytes(int64(len(ix.check)), ix.Entries())
+}
+
+func sizeBytes(n, entries int64) int64 {
 	const entryBytes = 8 // int32 node + int32 rank
-	return int64(len(ix.check))*4 + ix.Entries()*entryBytes + int64(len(ix.rrd))*24
+	return n*4 + entries*entryBytes + n*24
 }
 
 // Clone returns a deep copy; used by experiments that reset the index
 // between query batches (Table 14).
-func (ix *Index) Clone() *Index {
-	cp := &Index{
+func (ix *SerialIndex) Clone() *SerialIndex {
+	cp := &SerialIndex{
 		maxK:  ix.maxK,
 		hubs:  append([]int32(nil), ix.hubs...),
 		check: append([]int32(nil), ix.check...),
@@ -239,6 +347,18 @@ func (ix *Index) Clone() *Index {
 		}
 	}
 	return cp
+}
+
+// Sharded converts the index into a ShardedIndex safe for concurrent use,
+// taking ownership of the entry lists (the receiver must not be used
+// afterwards). The conversion is O(n) pointer moves, not a deep copy.
+func (ix *SerialIndex) Sharded() *ShardedIndex {
+	sh := newSharded(len(ix.check), ix.maxK)
+	sh.hubs = ix.hubs
+	copy(sh.check, ix.check)
+	copy(sh.rrd, ix.rrd)
+	ix.rrd = nil
+	return sh
 }
 
 const indexMagic = "RKIX1\n"
@@ -267,23 +387,30 @@ func minInt(a, b int) int {
 }
 
 // Write serializes the index.
-func (ix *Index) Write(w io.Writer) error {
+func (ix *SerialIndex) Write(w io.Writer) error {
+	return writeIndex(w, ix.maxK, ix.hubs, ix.check, ix.rrd, ix.Entries())
+}
+
+// writeIndex emits the shared on-disk format from raw dictionary state;
+// both implementations funnel through it (the sharded index passes a
+// consistent snapshot).
+func writeIndex(w io.Writer, maxK int, hubs, check []int32, rrd [][]rank.Entry, entries int64) error {
 	if _, err := io.WriteString(w, indexMagic); err != nil {
 		return err
 	}
-	hdr := []uint64{uint64(ix.maxK), uint64(len(ix.check)), uint64(len(ix.hubs)), uint64(ix.Entries())}
+	hdr := []uint64{uint64(maxK), uint64(len(check)), uint64(len(hubs)), uint64(entries)}
 	for _, h := range hdr {
 		if err := binary.Write(w, binary.LittleEndian, h); err != nil {
 			return err
 		}
 	}
-	if err := binary.Write(w, binary.LittleEndian, ix.hubs); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, hubs); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, ix.check); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, check); err != nil {
 		return err
 	}
-	for _, l := range ix.rrd {
+	for _, l := range rrd {
 		if err := binary.Write(w, binary.LittleEndian, uint32(len(l))); err != nil {
 			return err
 		}
@@ -296,8 +423,10 @@ func (ix *Index) Write(w io.Writer) error {
 	return nil
 }
 
-// Read deserializes an index written by Write.
-func Read(r io.Reader) (*Index, error) {
+// Read deserializes an index written by Write (either implementation; the
+// on-disk format is shared). Use ReadSharded, or Sharded on the result, to
+// obtain a concurrency-safe index instead.
+func Read(r io.Reader) (*SerialIndex, error) {
 	magic := make([]byte, len(indexMagic))
 	if _, err := io.ReadFull(r, magic); err != nil {
 		return nil, err
@@ -327,7 +456,7 @@ func Read(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := &Index{maxK: int(maxK), hubs: hubs, check: check, rrd: make([][]rank.Entry, n)}
+	ix := &SerialIndex{maxK: int(maxK), hubs: hubs, check: check, rrd: make([][]rank.Entry, n)}
 	for v := range ix.rrd {
 		var ln uint32
 		if err := binary.Read(r, binary.LittleEndian, &ln); err != nil {
@@ -350,4 +479,14 @@ func Read(r io.Reader) (*Index, error) {
 		ix.rrd[v] = list
 	}
 	return ix, nil
+}
+
+// ReadSharded deserializes an index written by Write into a ShardedIndex
+// safe for concurrent use.
+func ReadSharded(r io.Reader) (*ShardedIndex, error) {
+	ix, err := Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return ix.Sharded(), nil
 }

@@ -33,10 +33,24 @@
 // of another, e.g. stores and communities on a road network) are selected
 // through Options.Candidates and Options.Counted.
 //
+// # Concurrency
+//
 // All functionality is pure Go with no dependencies outside the standard
-// library. Engines are not safe for concurrent use; create one Engine per
-// goroutine (and do not share an Index between them, since Indexed queries
-// update it).
+// library. An Engine is not safe for concurrent use (it owns per-query
+// workspaces); a Pool holds one engine per permit and serves queries from
+// many goroutines. Indexes come in two interchangeable implementations
+// behind the Index interface: BuildIndex returns a single-goroutine index
+// for a dedicated engine, and NewConcurrentIndex returns a lock-striped
+// index that any number of engines may share — Indexed queries from a
+// whole pool then read one set of dictionaries and feed their refinements
+// back into it, so the index improves with aggregate traffic:
+//
+//	ix, _ := rkranks.NewConcurrentIndex(g, rkranks.IndexParams{
+//		HubFraction: 0.1, RankFraction: 0.1, MaxK: 100,
+//		Strategy: rkranks.DegreeHubs,
+//	})
+//	pool, _ := rkranks.NewPoolWithIndex(g, rkranks.Options{}, 0, ix)
+//	res, _ := pool.Query(rkranks.Indexed, q, 10) // safe from any goroutine
 package rkranks
 
 import (
@@ -80,11 +94,18 @@ type (
 	Stats = core.Stats
 	// Entry pairs a node with a rank value.
 	Entry = rank.Entry
-	// Index is the Section-5 Check/Reverse-Rank dictionary structure.
+	// Index is the Section-5 Check/Reverse-Rank dictionary structure, an
+	// interface over the single-goroutine implementation (BuildIndex /
+	// LoadIndex) and the concurrency-safe one (NewConcurrentIndex /
+	// LoadConcurrentIndex). Index.Concurrent reports which kind it is.
 	Index = ridx.Index
+	// ConcurrentIndex is the lock-striped Index implementation that may be
+	// shared by any number of engines (see NewConcurrentIndex).
+	ConcurrentIndex = ridx.ShardedIndex
 	// HubStrategy selects how index hubs are chosen.
 	HubStrategy = hub.Strategy
-	// Pool serves index-free queries concurrently (one engine per permit).
+	// Pool serves queries concurrently (one engine per permit); built with
+	// NewPoolWithIndex it serves Indexed queries against one shared index.
 	Pool = core.Pool
 )
 
@@ -121,12 +142,24 @@ func NewBuilder(directed bool) *Builder { return graph.NewBuilder(directed) }
 func NewEngine(g *Graph, opts Options) *Engine { return core.NewEngine(g, opts) }
 
 // NewPool returns a pool of engines for concurrent index-free querying
-// (size <= 0 uses GOMAXPROCS). Indexed queries mutate their index and must
-// run on a dedicated Engine instead.
+// (size <= 0 uses GOMAXPROCS). To serve Indexed queries from a pool, use
+// NewPoolWithIndex.
 func NewPool(g *Graph, opts Options, size int) *Pool { return core.NewPool(g, opts, size) }
 
-// SaveIndex writes a built index to a file.
-func SaveIndex(path string, ix *Index) error {
+// NewPoolWithIndex returns a pool of size engines (size <= 0 uses
+// GOMAXPROCS) sharing one concurrency-safe index, enabling Indexed — the
+// fastest engine — for concurrent querying: every query's refinements feed
+// the shared dictionaries, so the index learns from the pool's aggregate
+// traffic. The index must come from NewConcurrentIndex or
+// LoadConcurrentIndex; a BuildIndex result is rejected (it is not safe to
+// share).
+func NewPoolWithIndex(g *Graph, opts Options, size int, ix Index) (*Pool, error) {
+	return core.NewPoolWithIndex(g, opts, size, ix)
+}
+
+// SaveIndex writes a built index (either implementation) to a file; the
+// on-disk format does not record which implementation produced it.
+func SaveIndex(path string, ix Index) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -138,14 +171,31 @@ func SaveIndex(path string, ix *Index) error {
 	return f.Close()
 }
 
-// LoadIndex reads an index written by SaveIndex.
-func LoadIndex(path string) (*Index, error) {
+// LoadIndex reads an index written by SaveIndex into the single-goroutine
+// implementation (for a dedicated Engine). Use LoadConcurrentIndex for an
+// index a Pool can share.
+func LoadIndex(path string) (Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ridx.Read(f)
+	ix, err := ridx.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// LoadConcurrentIndex reads an index written by SaveIndex into the
+// concurrency-safe implementation, ready for NewPoolWithIndex.
+func LoadConcurrentIndex(path string) (*ConcurrentIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ridx.ReadSharded(f)
 }
 
 // ReadGraph loads a graph from a file (binary for the ".rkg" extension,
@@ -181,18 +231,16 @@ type IndexParams struct {
 	Seed int64
 }
 
-// BuildIndex precomputes a Section-5 index for g: selects H = h·|V| hubs
-// with the chosen strategy and runs an M = m·|V| step ranked SSSP from each.
-// Attach the result to an Engine with SetIndex to enable Indexed queries.
-func BuildIndex(g *Graph, p IndexParams) (*Index, error) {
+// buildParams validates p and resolves it into ridx build parameters.
+func buildParams(g *Graph, p IndexParams) (ridx.BuildParams, error) {
 	if p.HubFraction <= 0 || p.HubFraction > 1 {
-		return nil, fmt.Errorf("rkranks: HubFraction must be in (0,1], got %g", p.HubFraction)
+		return ridx.BuildParams{}, fmt.Errorf("rkranks: HubFraction must be in (0,1], got %g", p.HubFraction)
 	}
 	if p.RankFraction <= 0 || p.RankFraction > 1 {
-		return nil, fmt.Errorf("rkranks: RankFraction must be in (0,1], got %g", p.RankFraction)
+		return ridx.BuildParams{}, fmt.Errorf("rkranks: RankFraction must be in (0,1], got %g", p.RankFraction)
 	}
 	if p.MaxK < 1 {
-		return nil, fmt.Errorf("rkranks: MaxK must be >= 1, got %d", p.MaxK)
+		return ridx.BuildParams{}, fmt.Errorf("rkranks: MaxK must be >= 1, got %d", p.MaxK)
 	}
 	h := int(float64(g.N()) * p.HubFraction)
 	if h < 1 {
@@ -203,12 +251,42 @@ func BuildIndex(g *Graph, p IndexParams) (*Index, error) {
 		m = 1
 	}
 	hubs := hub.Select(g, p.Strategy, h, hub.Options{Seed: p.Seed})
-	// Hub searches are independent; build in parallel. The result is
-	// identical to a serial build regardless of scheduling.
-	return ridx.BuildParallel(g, ridx.BuildParams{
+	return ridx.BuildParams{
 		Hubs: hubs, M: m, K: p.MaxK,
 		Counted: p.Counted, Candidates: p.Candidates,
-	}, 0)
+	}, nil
+}
+
+// BuildIndex precomputes a Section-5 index for g: selects H = h·|V| hubs
+// with the chosen strategy and runs an M = m·|V| step ranked SSSP from
+// each. Attach the result to an Engine with SetIndex to enable Indexed
+// queries on that engine. The returned index is the single-goroutine
+// implementation; use NewConcurrentIndex for one a Pool can share.
+func BuildIndex(g *Graph, p IndexParams) (Index, error) {
+	bp, err := buildParams(g, p)
+	if err != nil {
+		return nil, err
+	}
+	// Hub searches are independent; build in parallel. The result is
+	// identical to a serial build regardless of scheduling.
+	ix, err := ridx.BuildParallel(g, bp, 0)
+	if err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// NewConcurrentIndex precomputes the same index as BuildIndex into the
+// concurrency-safe lock-striped implementation: any number of engines may
+// read and refine it at once, so it is the index to pass to
+// NewPoolWithIndex. The build itself also runs hub searches on all cores,
+// writing the shared dictionaries directly.
+func NewConcurrentIndex(g *Graph, p IndexParams) (*ConcurrentIndex, error) {
+	bp, err := buildParams(g, p)
+	if err != nil {
+		return nil, err
+	}
+	return ridx.BuildSharded(g, bp, 0)
 }
 
 // ReverseKRanks answers a single reverse k-ranks query with the Dynamic

@@ -1,7 +1,9 @@
 package rkranks_test
 
 import (
+	"fmt"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"rkranks"
@@ -162,6 +164,121 @@ func TestPublicPool(t *testing.T) {
 	}
 	if len(results) != 2 || len(results[0].Entries) != 2 || results[1].Entries[0].Rank != 1 {
 		t.Fatalf("pool results: %v", results)
+	}
+}
+
+func TestPublicConcurrentIndexPool(t *testing.T) {
+	g, id := toyGraph()
+	params := rkranks.IndexParams{
+		HubFraction: 0.5, RankFraction: 0.5, MaxK: 4, Strategy: rkranks.DegreeHubs,
+	}
+	cix, err := rkranks.NewConcurrentIndex(g, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cix.Concurrent() {
+		t.Fatal("NewConcurrentIndex returned a non-concurrent index")
+	}
+	six, err := rkranks.BuildIndex(g, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if six.Concurrent() {
+		t.Fatal("BuildIndex returned a concurrent index")
+	}
+	if _, err := rkranks.NewPoolWithIndex(g, rkranks.Options{}, 4, six); err == nil {
+		t.Fatal("pool accepted a non-concurrent index")
+	}
+	pool, err := rkranks.NewPoolWithIndex(g, rkranks.Options{}, 4, cix)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial oracle: a dedicated engine on its own index copy.
+	oracle := rkranks.NewEngine(g, rkranks.Options{})
+	oracle.SetIndex(six)
+	queries := make([]int32, 0, len(id))
+	for _, q := range id {
+		queries = append(queries, q)
+	}
+	want := map[int32]string{}
+	for _, q := range queries {
+		res, err := oracle.Query(rkranks.Indexed, q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = fmt.Sprint(res.Entries)
+	}
+	var wg sync.WaitGroup
+	for round := 0; round < 4; round++ {
+		for _, q := range queries {
+			wg.Add(1)
+			go func(q int32) {
+				defer wg.Done()
+				res, err := pool.Query(rkranks.Indexed, q, 3)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := fmt.Sprint(res.Entries); got != want[q] {
+					t.Errorf("q=%d: %s != %s", q, got, want[q])
+				}
+			}(q)
+		}
+	}
+	wg.Wait()
+	results, err := pool.QueryMany(rkranks.Indexed, queries, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if got := fmt.Sprint(res.Entries); got != want[queries[i]] {
+			t.Errorf("QueryMany q=%d: %s != %s", queries[i], got, want[queries[i]])
+		}
+	}
+}
+
+func TestConcurrentIndexSaveLoad(t *testing.T) {
+	g, id := toyGraph()
+	cix, err := rkranks.NewConcurrentIndex(g, rkranks.IndexParams{
+		HubFraction: 0.5, RankFraction: 0.5, MaxK: 4, Strategy: rkranks.DegreeHubs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "toy.rki")
+	if err := rkranks.SaveIndex(path, cix); err != nil {
+		t.Fatal(err)
+	}
+	back, err := rkranks.LoadConcurrentIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Concurrent() || back.Entries() != cix.Entries() {
+		t.Fatalf("reloaded concurrent index: concurrent=%v entries=%d want %d",
+			back.Concurrent(), back.Entries(), cix.Entries())
+	}
+	pool, err := rkranks.NewPoolWithIndex(g, rkranks.Options{}, 2, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pool.Query(rkranks.Indexed, id["Alice"], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 2 || res.Entries[0].Rank != 3 {
+		t.Fatalf("query via reloaded concurrent index: %v", res.Entries)
+	}
+	// The same file loads as a serial index too: one on-disk format.
+	serial, err := rkranks.LoadIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Concurrent() || serial.Entries() != cix.Entries() {
+		t.Fatalf("serial reload: concurrent=%v entries=%d", serial.Concurrent(), serial.Entries())
+	}
+	if _, err := rkranks.LoadConcurrentIndex(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing index accepted")
 	}
 }
 

@@ -74,6 +74,24 @@ func benchQuery(b *testing.B, algo core.Algorithm) {
 	}
 }
 
+// Intra-query parallelism: the same workload as BenchmarkQueryDynamic with
+// speculative refine workers. Results are byte-identical; compare ns/op
+// against the serial benchmark to see the speedup (multi-core) or the
+// pipeline overhead (single-core / oversubscribed).
+func BenchmarkQueryDynamicRefine1(b *testing.B) { benchQueryRefine(b, 1) }
+func BenchmarkQueryDynamicRefine4(b *testing.B) { benchQueryRefine(b, 4) }
+
+func benchQueryRefine(b *testing.B, workers int) {
+	g := benchGraph()
+	e := core.NewEngine(g, core.Options{RefineWorkers: workers})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(core.Dynamic, int32(i%g.N()), 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkQueryIndexed(b *testing.B) {
 	g := benchGraph()
 	ix, err := rkranks.BuildIndex(g, rkranks.IndexParams{

@@ -9,10 +9,17 @@
 //	rkbench -exp figure6 -scale small
 //	rkbench -exp table11 -queries 200 -seed 7
 //	rkbench -exp serving -workers 8  # pooled Indexed QPS on a shared index
+//	rkbench -exp latency -refine-workers 8   # intra-query parallelism sweep
+//	rkbench -exp latency -json       # also write BENCH_latency.json
 //	rkbench -list
+//
+// With -json, each experiment additionally writes a machine-readable
+// BENCH_<experiment>.json in the working directory, so perf trajectories
+// can be tracked across commits without scraping the text tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,7 +30,16 @@ import (
 	"time"
 
 	"rkranks/internal/experiments"
+	"rkranks/internal/stats"
 )
+
+// jsonReport is the machine-readable form of one experiment's output.
+type jsonReport struct {
+	Experiment string         `json:"experiment"`
+	Scale      string         `json:"scale"`
+	ElapsedSec float64        `json:"elapsed_sec"`
+	Tables     []*stats.Table `json:"tables"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -40,8 +56,10 @@ func run(args []string, stdout io.Writer) error {
 		scale   = fs.String("scale", "default", "dataset scale: small|default")
 		queries = fs.Int("queries", 0, "override queries per measurement point")
 		workers = fs.Int("workers", 0, "max pool workers for the serving experiment (0 = GOMAXPROCS)")
+		refine  = fs.Int("refine-workers", 0, "max intra-query refine workers for the latency experiment (0 = GOMAXPROCS)")
 		seed    = fs.Int64("seed", 0, "override random seed")
 		ksFlag  = fs.String("ks", "", "override k axis, comma separated (e.g. 5,10,20)")
+		jsonOut = fs.Bool("json", false, "also write BENCH_<experiment>.json per experiment")
 		list    = fs.Bool("list", false, "list experiment names and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -69,6 +87,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *workers > 0 {
 		cfg.Workers = *workers
+	}
+	if *refine > 0 {
+		cfg.RefineWorkers = *refine
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
@@ -102,12 +123,34 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Fprintf(stdout, "=== %s (%v) ===\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Fprintf(stdout, "=== %s (%v) ===\n", name, elapsed.Round(time.Millisecond))
 		for _, t := range tables {
 			if err := t.Render(stdout); err != nil {
 				return err
 			}
 		}
+		if *jsonOut {
+			if err := writeJSON(name, *scale, elapsed, tables); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
 	}
 	return nil
+}
+
+// writeJSON records one experiment's tables as BENCH_<name>.json in the
+// working directory.
+func writeJSON(name, scale string, elapsed time.Duration, tables []*stats.Table) error {
+	report := jsonReport{
+		Experiment: name,
+		Scale:      scale,
+		ElapsedSec: elapsed.Seconds(),
+		Tables:     tables,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(fmt.Sprintf("BENCH_%s.json", name), append(data, '\n'), 0o644)
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -51,5 +53,41 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-ks", "x,y", "-scale", "small"}, &sb); err == nil {
 		t.Error("bad ks accepted")
+	}
+}
+
+func TestRunLatencyWithJSON(t *testing.T) {
+	t.Chdir(t.TempDir())
+	var sb strings.Builder
+	err := run([]string{"-exp", "latency", "-scale", "small", "-queries", "4", "-refine-workers", "2", "-json"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "=== latency") || !strings.Contains(out, "refine workers") {
+		t.Errorf("output:\n%s", out)
+	}
+	data, err := os.ReadFile("BENCH_latency.json")
+	if err != nil {
+		t.Fatalf("missing JSON artifact: %v", err)
+	}
+	var report struct {
+		Experiment string  `json:"experiment"`
+		Scale      string  `json:"scale"`
+		ElapsedSec float64 `json:"elapsed_sec"`
+		Tables     []struct {
+			Title   string     `json:"title"`
+			Headers []string   `json:"headers"`
+			Rows    [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v\n%s", err, data)
+	}
+	if report.Experiment != "latency" || report.Scale != "small" || len(report.Tables) != 1 {
+		t.Errorf("report = %+v", report)
+	}
+	if rows := report.Tables[0].Rows; len(rows) < 4 {
+		t.Errorf("expected a sweep with >= 4 rows, got %d", len(rows))
 	}
 }

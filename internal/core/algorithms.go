@@ -14,7 +14,7 @@ func (e *Engine) naive(q int32, k int) *Result {
 		if p == q || !e.candidate(p) {
 			continue
 		}
-		bound, exact := e.refine(p, math.Inf(1))
+		bound, exact := e.refine(p, math.Inf(1), 0)
 		if exact && bound <= e.heap.kRank() {
 			e.offer(p, bound)
 		}
@@ -34,6 +34,7 @@ func (e *Engine) static(q int32, k int) *Result {
 		if !ok {
 			break
 		}
+		seq := e.markTreeSettled(v)
 		e.stats.TreeSettled++
 		if v == q {
 			e.tree.Expand(v, d)
@@ -43,7 +44,7 @@ func (e *Engine) static(q int32, k int) *Result {
 			e.passThrough(v, d)
 			continue
 		}
-		e.refineAndSettle(v, d)
+		e.refineAndSettle(v, d, seq)
 	}
 	return e.finish()
 }
@@ -60,6 +61,7 @@ func (e *Engine) dynamic(q int32, k int) *Result {
 		if !ok {
 			break
 		}
+		seq := e.markTreeSettled(v)
 		e.stats.TreeSettled++
 		if v == q {
 			e.tree.Expand(v, d)
@@ -74,7 +76,7 @@ func (e *Engine) dynamic(q int32, k int) *Result {
 			e.skipCandidate(v, d, lb)
 			continue // prune the refinement (Theorem 2)
 		}
-		e.refineAndSettle(v, d)
+		e.refineAndSettle(v, d, seq)
 	}
 	return e.finish()
 }
@@ -107,18 +109,14 @@ func (e *Engine) skipCandidate(v int32, d float64, lb int32) {
 // the index, so subsequent queries get faster (Table 14).
 func (e *Engine) indexed(q int32, k int) *Result {
 	e.begin(q, k, Indexed)
-	for _, en := range e.idx.Reverse(q) {
-		if e.candidate(en.Node) && e.offer(en.Node, en.Rank) {
-			e.stats.SeededFromIndex++
-			e.trace(en.Node, 0, TraceSeeded, en.Rank, false)
-		}
-	}
+	e.seedFromIndex()
 	e.tree.ResetReverse(q)
 	for {
 		v, d, ok := e.tree.Pop()
 		if !ok {
 			break
 		}
+		seq := e.markTreeSettled(v)
 		e.stats.TreeSettled++
 		if v == q {
 			e.tree.Expand(v, d)
@@ -131,24 +129,15 @@ func (e *Engine) indexed(q int32, k int) *Result {
 		// Read Check BEFORE LookupRank. Check(v) only bounds Rank(v, q)
 		// when q is not recorded in Reverse(q) with source v, and index
 		// writers publish the witness entry before raising the bound
-		// (Offer, then RaiseCheck — see refine). Reading in the matching
-		// order guarantees that a bound covering the (v, q) exception is
-		// always read together with its visible witness; the reverse order
-		// could, on a shared concurrent index, observe a freshly raised
-		// bound while missing the just-offered exact rank and wrongly
-		// prune a true result.
+		// (Offer, then RaiseCheck — see applyRefineLog). Reading in the
+		// matching order guarantees that a bound covering the (v, q)
+		// exception is always read together with its visible witness; the
+		// reverse order could, on a shared concurrent index, observe a
+		// freshly raised bound while missing the just-offered exact rank
+		// and wrongly prune a true result.
 		check := e.idx.Check(v)
 		if r, known := e.idx.LookupRank(q, v); known {
-			e.stats.IndexHits++
-			e.setDescBound(v, e.descBound(v, r))
-			if r <= e.heap.kRank() {
-				e.offer(v, r)
-			}
-			expand := r <= e.heap.kRank()
-			if expand {
-				e.tree.Expand(v, d)
-			}
-			e.trace(v, d, TraceIndexHit, r, expand)
+			e.indexHit(v, d, r)
 			continue
 		}
 		lb := e.lowerBound(v, check)
@@ -156,9 +145,35 @@ func (e *Engine) indexed(q int32, k int) *Result {
 			e.skipCandidate(v, d, lb)
 			continue
 		}
-		e.refineAndSettle(v, d)
+		e.refineAndSettle(v, d, seq)
 	}
 	return e.finish()
+}
+
+// seedFromIndex primes the result heap from the Reverse Rank Dictionary of
+// the query node before traversal starts (Algorithm 3, line 1).
+func (e *Engine) seedFromIndex() {
+	for _, en := range e.idx.Reverse(e.q) {
+		if e.candidate(en.Node) && e.offer(en.Node, en.Rank) {
+			e.stats.SeededFromIndex++
+			e.trace(en.Node, 0, TraceSeeded, en.Rank, false)
+		}
+	}
+}
+
+// indexHit handles a dequeued candidate whose exact rank the Reverse Rank
+// Dictionary already knows, skipping its refinement.
+func (e *Engine) indexHit(v int32, d float64, r int32) {
+	e.stats.IndexHits++
+	e.setDescBound(v, e.descBound(v, r))
+	if r <= e.heap.kRank() {
+		e.offer(v, r)
+	}
+	expand := r <= e.heap.kRank()
+	if expand {
+		e.tree.Expand(v, d)
+	}
+	e.trace(v, d, TraceIndexHit, r, expand)
 }
 
 // passThrough handles a dequeued node outside the candidate class V1
@@ -183,6 +198,15 @@ func (e *Engine) passThrough(v int32, d float64) {
 // height, count, parent (check-dictionary wins are folded into the final
 // max without attribution, mirroring the paper's three-component table).
 func (e *Engine) lowerBound(v, check int32) int32 {
+	return e.lowerBoundAt(v, check, true)
+}
+
+// lowerBoundAt is lowerBound with the Table-11 win attribution optional:
+// the speculative coordinator evaluates the bound twice per candidate —
+// once on stale state to decide whether launching a refinement could be
+// worthwhile, once at apply time for the real (serial-order) decision —
+// and only the latter may touch the stats.
+func (e *Engine) lowerBoundAt(v, check int32, attribute bool) int32 {
 	var height, count, parent int32
 	if e.bounds&BoundHeight != 0 {
 		height = e.tree.Depth(v)
@@ -193,13 +217,15 @@ func (e *Engine) lowerBound(v, check int32) int32 {
 	if e.bounds&BoundParent != 0 {
 		parent = e.parentBound(v)
 	}
-	switch {
-	case height >= count && height >= parent:
-		e.stats.HeightWins++
-	case count >= parent:
-		e.stats.CountWins++
-	default:
-		e.stats.ParentWins++
+	if attribute {
+		switch {
+		case height >= count && height >= parent:
+			e.stats.HeightWins++
+		case count >= parent:
+			e.stats.CountWins++
+		default:
+			e.stats.ParentWins++
+		}
 	}
 	lb := height
 	if count > lb {

@@ -2,17 +2,18 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"rkranks/internal/graph"
-	"rkranks/internal/rank"
 	"rkranks/internal/ridx"
 	"rkranks/internal/sssp"
 )
 
 // Engine evaluates reverse k-ranks queries against one graph. It owns
-// reusable per-query workspaces (two Dijkstra searches plus epoch-stamped
+// reusable per-query workspaces (Dijkstra searches plus epoch-stamped
 // node arrays), so queries after the first allocate nothing.
+// Options.RefineWorkers > 0 additionally starts that many persistent
+// worker goroutines on the engine's first query; they park between
+// queries and exit when the engine is garbage collected (parallel.go).
 //
 // An Engine is not safe for concurrent use; create one per goroutine. An
 // attached index is both read and written by Indexed queries (that is the
@@ -20,14 +21,17 @@ import (
 // and only if it is a concurrency-safe implementation (ridx.ShardedIndex,
 // reported by Index.Concurrent) — a Pool built with NewPoolWithIndex
 // arranges exactly that. A ridx.SerialIndex must stay private to one
-// engine.
+// engine. Intra-query refine workers never touch the index (all index
+// traffic stays on the coordinating goroutine), so RefineWorkers composes
+// with either index implementation.
 type Engine struct {
 	g    *graph.Graph
 	opts Options
 	idx  ridx.Index
 
 	tree *sssp.Search // transpose traversal from q (SDS-tree)
-	ref  *sssp.Search // forward traversal for rank refinements
+	rf   *refiner     // serial refinement workspace (see refiner.go)
+	par  *parallelState
 
 	epoch   uint32
 	lcount  []int32 // Lemma-4 visit counters
@@ -35,6 +39,9 @@ type Engine struct {
 	nrank   []int32 // recorded rank (or lower bound) of processed nodes
 	nstamp  []uint32
 	ostamp  []uint32 // nodes already offered to the result heap
+	sseq    []int32  // SDS-tree pop sequence numbers (see markTreeSettled)
+	sstamp  []uint32
+	seq     int32 // pops so far this query
 	scratch []settleRec
 
 	heap  resultHeap
@@ -70,12 +77,14 @@ func NewEngine(g *graph.Graph, opts Options) *Engine {
 		g:      g,
 		opts:   opts,
 		tree:   sssp.New(g),
-		ref:    sssp.New(g),
+		rf:     newRefiner(g),
 		lcount: make([]int32, n),
 		lstamp: make([]uint32, n),
 		nrank:  make([]int32, n),
 		nstamp: make([]uint32, n),
 		ostamp: make([]uint32, n),
+		sseq:   make([]int32, n),
+		sstamp: make([]uint32, n),
 	}
 }
 
@@ -103,6 +112,25 @@ func (e *Engine) Query(a Algorithm, q int32, k int) (*Result, error) {
 		return nil, err
 	}
 	switch a {
+	case Naive, Static, Dynamic, Indexed:
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", a)
+	}
+	if a == Indexed {
+		if e.idx == nil {
+			return nil, fmt.Errorf("core: Indexed query requires SetIndex")
+		}
+		if k > e.idx.MaxK() {
+			return nil, fmt.Errorf("core: k=%d exceeds index K=%d", k, e.idx.MaxK())
+		}
+	}
+	if e.opts.refineWorkers() > 0 {
+		if a == Naive {
+			return e.naiveParallel(q, k), nil
+		}
+		return e.treeParallel(a, q, k), nil
+	}
+	switch a {
 	case Naive:
 		return e.naive(q, k), nil
 	case Static:
@@ -110,15 +138,11 @@ func (e *Engine) Query(a Algorithm, q int32, k int) (*Result, error) {
 	case Dynamic:
 		return e.dynamic(q, k), nil
 	case Indexed:
-		if e.idx == nil {
-			return nil, fmt.Errorf("core: Indexed query requires SetIndex")
-		}
-		if k > e.idx.MaxK() {
-			return nil, fmt.Errorf("core: k=%d exceeds index K=%d", k, e.idx.MaxK())
-		}
 		return e.indexed(q, k), nil
+	default:
+		// Unreachable: the validity switch above rejects everything else.
+		return nil, fmt.Errorf("core: algorithm %v has no serial dispatch", a)
 	}
-	return nil, fmt.Errorf("core: unknown algorithm %v", a)
 }
 
 func (e *Engine) checkArgs(q int32, k int) error {
@@ -138,25 +162,22 @@ func (e *Engine) checkArgs(q int32, k int) error {
 func (e *Engine) begin(q int32, k int, a Algorithm) {
 	e.epoch++
 	if e.epoch == 0 {
-		clearU32(e.lstamp)
-		clearU32(e.nstamp)
-		clearU32(e.ostamp)
+		clear(e.lstamp)
+		clear(e.nstamp)
+		clear(e.ostamp)
+		clear(e.sstamp)
 		e.epoch = 1
 	}
 	e.q = q
 	e.k = k
+	e.seq = 0
 	e.heap.reset(k)
 	e.stats = Stats{}
 	e.traceLog = nil
 	e.bounds = e.opts.effectiveBounds(e.g)
 	e.useLc = a != Naive && a != Static && e.bounds&BoundCount != 0
 	e.indexing = a == Indexed
-}
-
-func clearU32(s []uint32) {
-	for i := range s {
-		s[i] = 0
-	}
+	e.rf.prepare(q, e.opts.Counted, e.opts.DisableDistanceCutoff)
 }
 
 func (e *Engine) candidate(v int32) bool {
@@ -165,6 +186,25 @@ func (e *Engine) candidate(v int32) bool {
 
 func (e *Engine) counted(v int32) bool {
 	return e.opts.Counted == nil || e.opts.Counted[v]
+}
+
+// markTreeSettled records the pop order of the SDS-tree traversal and
+// returns v's sequence number. The Lemma-4 bookkeeping asks "was t settled
+// when candidate p was refined?"; under speculative refinement nodes are
+// popped (and marked) before earlier candidates' side effects are applied,
+// so the engine compares pop sequence numbers instead of consulting the
+// tree's live settled set — which reproduces the serial answer exactly.
+func (e *Engine) markTreeSettled(v int32) int32 {
+	e.seq++
+	e.sseq[v] = e.seq
+	e.sstamp[v] = e.epoch
+	return e.seq
+}
+
+// treeSettledBefore reports whether v was popped from the SDS-tree at or
+// before pop sequence number seq of the current query.
+func (e *Engine) treeSettledBefore(v int32, seq int32) bool {
+	return e.sstamp[v] == e.epoch && e.sseq[v] <= seq
 }
 
 // descBound converts a certified lower bound on Rank(v, q) into one valid
@@ -247,10 +287,17 @@ func (e *Engine) finish() *Result {
 }
 
 // refineAndSettle runs the shared refine/offer/expand tail of the three
-// SDS-tree engines for a dequeued candidate. Subtree pruning uses the
+// SDS-tree engines for a dequeued candidate; seq is the candidate's pop
+// sequence number (markTreeSettled).
+func (e *Engine) refineAndSettle(v int32, d float64, seq int32) {
+	bound, exact := e.refine(v, d, seq)
+	e.settleRefined(v, d, bound, exact)
+}
+
+// settleRefined applies the result-heap, descendant-bound, and expansion
+// decisions for a refined candidate. Subtree pruning uses the
 // descendant-transferred bound (see descBound), not v's own.
-func (e *Engine) refineAndSettle(v int32, d float64) {
-	bound, exact := e.refine(v, d)
+func (e *Engine) settleRefined(v int32, d float64, bound int32, exact bool) {
 	e.setDescBound(v, e.descBound(v, bound))
 	if exact && bound <= e.heap.kRank() {
 		e.offer(v, bound)
@@ -272,101 +319,62 @@ func (e *Engine) refineAndSettle(v int32, d float64) {
 	}
 }
 
-// refine computes Rank(p, q) by partial Dijkstra from p (Algorithm 2 / 4).
+// refine computes Rank(p, q) by a serial partial Dijkstra from p and
+// applies its side effects (see refiner.run for the search itself and
+// applyRefineLog for the effects). dpq is d(p, q) when known, +Inf
+// otherwise; seq is p's pop sequence number (0 outside a tree traversal).
+// Returns the exact rank with exact=true, or a certified lower bound with
+// exact=false (kRank abort), or rank.Unreachable when p cannot reach q.
+func (e *Engine) refine(p int32, dpq float64, seq int32) (bound int32, exact bool) {
+	e.stats.Refinements++
+	var out refineResult
+	out, e.scratch = e.rf.run(p, dpq, e.heap.kRank(), nil, nil, e.scratch[:0])
+	e.stats.RefineSettled += out.settled
+	if out.aborted {
+		e.stats.RefineAborted++
+	}
+	e.applyRefineLog(p, e.scratch, out.bound, out.exact, out.stopLevel, seq)
+	return out.bound, out.exact
+}
+
+// applyRefineLog applies the side effects of a refinement of p, gated by
+// the engine's per-query switches:
 //
-// dpq is d(p, q) when known (from the SDS-tree pop), +Inf otherwise; it
-// bounds queue pushes, since nodes farther than q never settle before q.
-//
-// The search aborts as soon as the strictly-closer count reaches the
-// current kRank, because then Rank(p, q) > kRank and p cannot enter the
-// result (Definition 2). Returns the exact rank with exact=true, or a
-// certified lower bound with exact=false (abort), or rank.Unreachable when
-// p cannot reach q at all (only possible for the naive engine; SDS-tree
-// pops always reach q).
-//
-// Side effects, gated by the engine's per-query switches:
 //   - useLc: every settled counted node proven strictly closer to p than q
 //     gets its Lemma-4 visit counter bumped;
 //   - indexing: every settled counted node's exact rank from p feeds the
 //     Reverse Rank Dictionary, and p's Check Dictionary bound is raised.
-func (e *Engine) refine(p int32, dpq float64) (bound int32, exact bool) {
-	kRank := e.heap.kRank()
-	e.stats.Refinements++
-	if e.opts.DisableDistanceCutoff {
-		dpq = math.Inf(1)
-	} else {
-		dpq = sssp.Cutoff(dpq)
+//
+// seq is p's pop sequence number: nodes popped from the SDS-tree at or
+// before it never read their counter again — and for them the lemma's
+// d(p,q) <= d(t,q) precondition no longer holds — so they are skipped
+// (Lemma 3/4). In parallel mode the log and (bound, exact, stopLevel) come
+// from replayRefinement, so the effects applied here are byte-identical to
+// a serial run's.
+func (e *Engine) applyRefineLog(p int32, log []settleRec, bound int32, exact bool, stopLevel float64, seq int32) {
+	if !e.useLc && !e.indexing {
+		return
 	}
-	e.ref.Reset(p)
-	strictBelow := 0
-	settledCounted := 0
-	level := math.Inf(-1)
-	log := e.scratch[:0]
-	stopLevel := math.Inf(1)
-	for {
-		v, d, ok := e.ref.Pop()
-		if !ok {
-			bound, exact = rank.Unreachable, false
-			stopLevel = math.Inf(1) // whole component settled: all strictly closer
-			break
-		}
-		e.stats.RefineSettled++
-		if v == p {
-			e.ref.ExpandBounded(v, d, dpq)
+	for _, rec := range log {
+		if rec.node == e.q {
 			continue
 		}
-		if e.counted(v) {
-			if d > level {
-				strictBelow = settledCounted
-				level = d
-			}
-			r := int32(strictBelow + 1)
-			if v == e.q {
-				bound, exact = r, true
-				stopLevel = d
-				log = append(log, settleRec{v, d, r})
-				break
-			}
-			settledCounted++
-			log = append(log, settleRec{v, d, r})
-			if int32(strictBelow) >= kRank {
-				// Rank(p, q) >= strictBelow+1 > kRank: p cannot qualify.
-				bound, exact = r, false
-				stopLevel = d
-				e.stats.RefineAborted++
-				break
-			}
-		}
-		e.ref.ExpandBounded(v, d, dpq)
-	}
-	if e.useLc || e.indexing {
-		for _, rec := range log {
-			if rec.node == e.q {
-				continue
-			}
-			if e.useLc && rec.dist < stopLevel && !e.tree.Settled(rec.node) {
-				// Strictly closer to p than q (Lemma 3/4). Nodes already
-				// dequeued from the SDS-tree never read their counter
-				// again — and for them the lemma's d(p,q) <= d(t,q)
-				// precondition no longer holds — so they are skipped.
-				e.bumpLcount(rec.node)
-			}
-			if e.indexing {
-				e.idx.Offer(rec.node, p, rec.rank)
-			}
+		if e.useLc && rec.dist < stopLevel && !e.treeSettledBefore(rec.node, seq) {
+			e.bumpLcount(rec.node)
 		}
 		if e.indexing {
-			if exact {
-				e.idx.Offer(e.q, p, bound)
-			}
-			// Any node not settled by this search ranks at least as high
-			// as the last settled one (see ridx package docs). The raise
-			// must come after the Offers above: on a shared concurrent
-			// index, a reader that sees this bound must also see the
-			// witness entries it exempts (readers load Check first).
-			e.idx.RaiseCheck(p, bound)
+			e.idx.Offer(rec.node, p, rec.rank)
 		}
 	}
-	e.scratch = log[:0] // retain grown capacity
-	return bound, exact
+	if e.indexing {
+		if exact {
+			e.idx.Offer(e.q, p, bound)
+		}
+		// Any node not settled by this search ranks at least as high
+		// as the last settled one (see ridx package docs). The raise
+		// must come after the Offers above: on a shared concurrent
+		// index, a reader that sees this bound must also see the
+		// witness entries it exempts (readers load Check first).
+		e.idx.RaiseCheck(p, bound)
+	}
 }

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"rkranks/internal/graph"
 )
@@ -144,6 +145,30 @@ type Options struct {
 	// unchanged; refinements just carry a larger queue. Exists for the
 	// ablation benchmark — leave it false in production.
 	DisableDistanceCutoff bool
+
+	// RefineWorkers enables intra-query parallel rank refinement: the
+	// SDS-tree traversal stays on the calling goroutine while up to this
+	// many worker goroutines speculatively run the rank refinements of
+	// candidates inside a bounded lookahead window (see parallel.go).
+	// Results are byte-identical to a serial run — speculation only ever
+	// costs extra settled nodes, reflected in Stats.RefineSettled and the
+	// Stats.Speculative* counters. 0 (the default) refines serially on
+	// the calling goroutine; < 0 uses runtime.GOMAXPROCS(0).
+	//
+	// RefineWorkers cuts the latency of an individual query; a Pool cuts
+	// the latency of a backlog. When both are in play, budget
+	// (pool size) x (1 + RefineWorkers) against the machine — NewPool
+	// does this automatically for default-sized pools.
+	RefineWorkers int
+}
+
+// refineWorkers resolves the RefineWorkers option to an effective worker
+// count.
+func (o *Options) refineWorkers() int {
+	if o.RefineWorkers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.RefineWorkers
 }
 
 func (o *Options) bichromatic() bool { return o.Candidates != nil || o.Counted != nil }

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rkranks/internal/gen"
+	"rkranks/internal/graph"
+	"rkranks/internal/hub"
+	"rkranks/internal/ridx"
+)
+
+// decisionStats projects the Stats fields that must be byte-identical
+// between a serial run and a speculative parallel run (everything except
+// RefineSettled and the Speculative* counters — see the Stats docs).
+type decisionStats struct {
+	refinements, refineAborted, treeSettled, pruned, hits, seeded int
+	heightWins, countWins, parentWins                             int64
+}
+
+func decisionsOf(s Stats) decisionStats {
+	return decisionStats{
+		refinements: s.Refinements, refineAborted: s.RefineAborted,
+		treeSettled: s.TreeSettled, pruned: s.PrunedByBound,
+		hits: s.IndexHits, seeded: s.SeededFromIndex,
+		heightWins: s.HeightWins, countWins: s.CountWins, parentWins: s.ParentWins,
+	}
+}
+
+// buildTestIndex returns a fresh serial index for g (cloned per engine run
+// so every run starts from identical dictionaries — Indexed queries mutate
+// their index, and determinism is only defined against equal start states).
+func buildTestIndex(t *testing.T, g *graph.Graph, maxK int, candidates, counted []bool) *ridx.SerialIndex {
+	t.Helper()
+	ix, err := ridx.Build(g, ridx.BuildParams{
+		Hubs:    hub.Select(g, hub.DegreeFirst, g.N()/10+1, hub.Options{Seed: 9}),
+		M:       g.N() / 5,
+		K:       maxK,
+		Counted: counted, Candidates: candidates,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// zeroWeightGraph builds a graph containing zero-weight edges and dense
+// distance ties: the speculation barrier must stall (never overtake the
+// serial pop order) instead of mis-speculating through them.
+func zeroWeightGraph() *graph.Graph {
+	b := graph.NewBuilder(false)
+	b.EnsureNodes(40)
+	for i := 0; i+1 < 40; i++ {
+		w := 1.0
+		switch i % 4 {
+		case 1:
+			w = 0 // zero-weight edge: child floor collapses to d(parent)
+		case 2:
+			w = 2
+		}
+		b.MustAddEdge(int32(i), int32(i+1), w)
+	}
+	for i := 0; i+7 < 40; i += 5 {
+		b.MustAddEdge(int32(i), int32(i+7), 3) // shortcuts -> equidistant ties
+	}
+	return b.Finalize()
+}
+
+// TestRefineWorkersDeterminism is the contract of the speculative parallel
+// pipeline: for every algorithm, graph shape, and worker count, the result
+// entries, trace, and decision counters are byte-identical to a serial run.
+// CI runs this under -race, which also proves the coordinator/worker
+// protocol is data-race-free.
+func TestRefineWorkersDeterminism(t *testing.T) {
+	graphs := testGraphs()
+	graphs["zero-weight-ties"] = zeroWeightGraph()
+	graphs["road"] = func() *graph.Graph {
+		g, _ := gen.RoadNetwork(gen.RoadNetworkParams{Rows: 10, Cols: 10, KeepProb: 0.4, Stores: 8, Seed: 41})
+		return g
+	}()
+	const maxK = 12
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			ix := buildTestIndex(t, g, maxK, nil, nil)
+			for _, algo := range []Algorithm{Naive, Static, Dynamic, Indexed} {
+				for q := int32(0); q < int32(g.N()); q += 13 {
+					for _, k := range []int{1, 5, maxK} {
+						serial := runOnce(t, g, Options{}, ix, algo, q, k)
+						for _, workers := range []int{1, 4} {
+							par := runOnce(t, g, Options{RefineWorkers: workers}, ix, algo, q, k)
+							label := fmt.Sprintf("%v q=%d k=%d workers=%d", algo, q, k, workers)
+							if !reflect.DeepEqual(serial.Entries, par.Entries) {
+								t.Fatalf("%s: entries diverged\nserial:   %v\nparallel: %v", label, serial.Entries, par.Entries)
+							}
+							if !reflect.DeepEqual(serial.Trace, par.Trace) {
+								t.Fatalf("%s: trace diverged (%d vs %d events)", label, len(serial.Trace), len(par.Trace))
+							}
+							if ds, dp := decisionsOf(serial.Stats), decisionsOf(par.Stats); ds != dp {
+								t.Fatalf("%s: decision stats diverged\nserial:   %+v\nparallel: %+v", label, ds, dp)
+							}
+							if par.Stats.RefineSettled < serial.Stats.RefineSettled && par.Stats.SpeculativeWasted == 0 {
+								t.Errorf("%s: parallel settled fewer nodes (%d) than serial (%d) without discards",
+									label, par.Stats.RefineSettled, serial.Stats.RefineSettled)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func runOnce(t *testing.T, g *graph.Graph, opts Options, ix *ridx.SerialIndex, algo Algorithm, q int32, k int) *Result {
+	t.Helper()
+	e := NewEngine(g, opts)
+	e.SetTracing(true)
+	if algo == Indexed {
+		e.SetIndex(ix.Clone())
+	}
+	res, err := e.Query(algo, q, k)
+	if err != nil {
+		t.Fatalf("%v q=%d k=%d: %v", algo, q, k, err)
+	}
+	return res
+}
+
+// TestRefineWorkersDeterminismBichromatic covers the pass-through and
+// descendant-bound adjustment paths (Definitions 3-4) under speculation.
+func TestRefineWorkersDeterminismBichromatic(t *testing.T) {
+	g, stores := gen.RoadNetwork(gen.RoadNetworkParams{Rows: 8, Cols: 8, KeepProb: 0.4, Stores: 10, Seed: 31})
+	candidates, counted := gen.StoreClasses(g.N(), stores)
+	opts := Options{Candidates: candidates, Counted: counted}
+	ix := buildTestIndex(t, g, 8, candidates, counted)
+	for _, algo := range []Algorithm{Naive, Static, Dynamic, Indexed} {
+		for _, q := range stores {
+			for _, k := range []int{1, 3, 8} {
+				serial := runBi(t, g, opts, ix, algo, q, k)
+				for _, workers := range []int{1, 4} {
+					popts := opts
+					popts.RefineWorkers = workers
+					par := runBi(t, g, popts, ix, algo, q, k)
+					if !reflect.DeepEqual(serial.Entries, par.Entries) {
+						t.Fatalf("bi/%v q=%d k=%d workers=%d: entries diverged\nserial:   %v\nparallel: %v",
+							algo, q, k, workers, serial.Entries, par.Entries)
+					}
+					if ds, dp := decisionsOf(serial.Stats), decisionsOf(par.Stats); ds != dp {
+						t.Fatalf("bi/%v q=%d k=%d workers=%d: decision stats diverged\nserial:   %+v\nparallel: %+v",
+							algo, q, k, workers, ds, dp)
+					}
+				}
+			}
+		}
+	}
+}
+
+func runBi(t *testing.T, g *graph.Graph, opts Options, ix *ridx.SerialIndex, algo Algorithm, q int32, k int) *Result {
+	t.Helper()
+	e := NewEngine(g, opts)
+	if algo == Indexed {
+		e.SetIndex(ix.Clone())
+	}
+	res, err := e.Query(algo, q, k)
+	if err != nil {
+		t.Fatalf("%v q=%d k=%d: %v", algo, q, k, err)
+	}
+	return res
+}
+
+// TestRefineWorkersRepeatedIndexed: the evolving shared dictionaries must
+// evolve identically under speculation — a divergence in index feedback
+// would compound across queries, so run a sequence on ONE index per mode
+// and compare after every query.
+func TestRefineWorkersRepeatedIndexed(t *testing.T) {
+	g := gen.DBLPLike(gen.DBLPLikeParams{Nodes: 120, AttachPerNode: 3, Seed: 21})
+	seed := buildTestIndex(t, g, 10, nil, nil)
+	serialEng := NewEngine(g, Options{})
+	serialEng.SetIndex(seed.Clone())
+	parEng := NewEngine(g, Options{RefineWorkers: 3})
+	parEng.SetIndex(seed.Clone())
+	for round := 0; round < 2; round++ {
+		for q := int32(0); q < int32(g.N()); q += 5 {
+			k := 1 + int(q)%10
+			rs, err := serialEng.Query(Indexed, q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rp, err := parEng.Query(Indexed, q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rs.Entries, rp.Entries) {
+				t.Fatalf("round=%d q=%d k=%d: entries diverged\nserial:   %v\nparallel: %v",
+					round, q, k, rs.Entries, rp.Entries)
+			}
+			if ds, dp := decisionsOf(rs.Stats), decisionsOf(rp.Stats); ds != dp {
+				t.Fatalf("round=%d q=%d k=%d: decision stats diverged\nserial:   %+v\nparallel: %+v",
+					round, q, k, ds, dp)
+			}
+		}
+	}
+	if se, pe := serialEng.Index().Entries(), parEng.Index().Entries(); se != pe {
+		t.Errorf("index entry counts diverged after identical traffic: serial %d, parallel %d", se, pe)
+	}
+}
+
+// TestRefineWorkersGOMAXPROCS covers the RefineWorkers < 0 resolution and
+// a pooled engine with intra-query workers.
+func TestRefineWorkersGOMAXPROCS(t *testing.T) {
+	g := gen.GNM(60, 90, false, 1)
+	e := NewEngine(g, Options{RefineWorkers: -1})
+	res, err := e.Query(Dynamic, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := NewEngine(g, Options{}).Query(Dynamic, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Entries, res.Entries) {
+		t.Fatalf("GOMAXPROCS workers diverged: %v vs %v", serial.Entries, res.Entries)
+	}
+
+	pool := NewPool(g, Options{RefineWorkers: 2}, 2)
+	results, err := pool.QueryMany(Dynamic, []int32{1, 2, 3, 4, 5, 6, 7}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		want, err := NewEngine(g, Options{}).Query(Dynamic, int32(i+1), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Entries, r.Entries) {
+			t.Fatalf("pooled parallel query %d diverged", i+1)
+		}
+	}
+}

@@ -26,9 +26,11 @@ type Pool struct {
 	idx     ridx.Index // shared concurrency-safe index, nil for index-free pools
 }
 
-// NewPool returns a pool of size engines over g (size <= 0 uses
-// runtime.GOMAXPROCS(0)). The pool serves the index-free algorithms; use
-// NewPoolWithIndex to serve Indexed queries too.
+// NewPool returns a pool of size engines over g. size <= 0 picks a default
+// that budgets runtime.GOMAXPROCS(0) across engines and their intra-query
+// refine workers: GOMAXPROCS / (1 + Options.RefineWorkers), at least 1.
+// The pool serves the index-free algorithms; use NewPoolWithIndex to serve
+// Indexed queries too.
 func NewPool(g *graph.Graph, opts Options, size int) *Pool {
 	return newPool(g, opts, size, nil)
 }
@@ -57,7 +59,14 @@ func NewPoolWithIndex(g *graph.Graph, opts Options, size int, ix ridx.Index) (*P
 
 func newPool(g *graph.Graph, opts Options, size int, ix ridx.Index) *Pool {
 	if size <= 0 {
-		size = runtime.GOMAXPROCS(0)
+		// Budget the machine across engines AND their intra-query refine
+		// workers: an engine with RefineWorkers = w occupies up to 1+w
+		// cores while serving a query, so a default-sized pool shrinks
+		// accordingly instead of oversubscribing.
+		size = runtime.GOMAXPROCS(0) / (1 + opts.refineWorkers())
+		if size < 1 {
+			size = 1
+		}
 	}
 	p := &Pool{engines: make(chan *Engine, size), idx: ix}
 	for i := 0; i < size; i++ {

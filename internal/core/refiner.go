@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"rkranks/internal/graph"
+	"rkranks/internal/rank"
+	"rkranks/internal/sssp"
+)
+
+// refiner owns the workspace for rank refinements (Algorithms 2 and 4): a
+// forward Dijkstra search plus the per-query parameters the inner loop
+// needs. The engine's serial path uses one refiner; the speculative
+// parallel path (parallel.go) gives each worker goroutine its own, so one
+// engine can run Options.RefineWorkers refinements concurrently.
+//
+// A refiner performs NO side effects: it only settles nodes and records
+// counted settles in a log. All engine-state mutations (result-heap
+// offers, Lemma-4 counters, index feedback) are derived from the log
+// afterwards — by Engine.applyRefineLog on the coordinating goroutine —
+// which is what makes speculative execution safe.
+type refiner struct {
+	ref *sssp.Search
+
+	// Per-query parameters, fixed by prepare before any run.
+	q       int32
+	counted []bool
+	noCut   bool
+}
+
+func newRefiner(g *graph.Graph) *refiner {
+	return &refiner{ref: sssp.New(g)}
+}
+
+// prepare binds the refiner to one query's parameters. In parallel mode
+// this happens before the worker goroutines start, so the fields are
+// plain (non-atomic) reads afterwards.
+func (r *refiner) prepare(q int32, counted []bool, noCut bool) {
+	r.q = q
+	r.counted = counted
+	r.noCut = noCut
+}
+
+// refineResult describes one rank-refinement run. A run stopped by its
+// cancel flag returns a truncated result that callers discard unread.
+type refineResult struct {
+	bound     int32   // exact rank (exact) or certified lower bound
+	exact     bool    // q was settled; bound is Rank(p, q)
+	stopLevel float64 // distance level the search stopped at (+Inf: exhausted)
+	settled   int64   // nodes settled by this search
+	aborted   bool    // hit the kRank early-exit
+}
+
+// run computes Rank(p, q) by partial Dijkstra from p (Algorithm 2 / 4).
+//
+// dpq is d(p, q) when known (from the SDS-tree pop), +Inf otherwise; it
+// bounds queue pushes, since nodes farther than q never settle before q.
+//
+// kRank is the abort threshold: the search stops as soon as the
+// strictly-closer count reaches it, because then Rank(p, q) > kRank and p
+// cannot enter the result (Definition 2). When live is non-nil (a
+// speculative worker run) the threshold is refreshed from it at every
+// counted settle; the live bound is monotone nonincreasing and every value
+// the worker observes is >= the serial threshold at apply time, so the
+// returned log always extends at least to the serial stopping point — the
+// invariant replayRefinement depends on. cancel (non-nil iff live is)
+// stops a run whose result is no longer needed.
+//
+// The (node, dist, rank) log of counted settles is appended to log's
+// backing array and returned; the caller owns it until the next run with
+// the same slice.
+func (r *refiner) run(p int32, dpq float64, kRank int32, live *atomic.Int32, cancel *atomic.Bool, log []settleRec) (refineResult, []settleRec) {
+	if r.noCut {
+		dpq = math.Inf(1)
+	} else {
+		dpq = sssp.Cutoff(dpq)
+	}
+	r.ref.Reset(p)
+	out := refineResult{stopLevel: math.Inf(1)}
+	strictBelow := 0
+	settledCounted := 0
+	level := math.Inf(-1)
+	for {
+		v, d, ok := r.ref.PopExpandBounded(dpq)
+		if !ok {
+			// Whole component settled without reaching q: all strictly
+			// closer (only possible for the naive engine; SDS-tree pops
+			// always reach q).
+			out.bound, out.exact = rank.Unreachable, false
+			return out, log
+		}
+		out.settled++
+		if v == p {
+			continue
+		}
+		if r.counted != nil && !r.counted[v] {
+			// Long uncounted stretches (sparse bichromatic classes) never
+			// reach the per-counted-settle cancel check below, so poll the
+			// flag on a coarse settle cadence too — the coordinator
+			// discards without blocking and relies on this bound.
+			if cancel != nil && out.settled&63 == 0 && cancel.Load() {
+				return out, log
+			}
+			continue
+		}
+		if d > level {
+			strictBelow = settledCounted
+			level = d
+		}
+		rr := int32(strictBelow + 1)
+		if v == r.q {
+			out.bound, out.exact, out.stopLevel = rr, true, d
+			return out, append(log, settleRec{v, d, rr})
+		}
+		settledCounted++
+		log = append(log, settleRec{v, d, rr})
+		if live != nil {
+			kRank = live.Load()
+			if cancel.Load() {
+				return out, log
+			}
+		}
+		if int32(strictBelow) >= kRank {
+			// Rank(p, q) >= strictBelow+1 > kRank: p cannot qualify.
+			out.bound, out.exact, out.stopLevel = rr, false, d
+			out.aborted = true
+			return out, log
+		}
+	}
+}
+
+// replayRefinement re-derives, from a speculative run's settle log, exactly
+// what a serial refinement with threshold kRank would have returned: the
+// (bound, exact) pair, the stop level, and the length n of the log prefix
+// the serial run would have recorded.
+//
+// This is sound because the Dijkstra settle order — and with it every
+// logged (node, dist, rank) triple — is independent of the threshold; the
+// threshold only decides where the search STOPS. The worker ran with
+// thresholds that were all >= kRank (the prune bound is monotone
+// nonincreasing over a query, and the worker ran before this apply point),
+// so the log is a superset of the serial one: scanning it in order and
+// applying the serial stop rules recovers the serial outcome bit-for-bit.
+func replayRefinement(q int32, log []settleRec, kRank int32) (bound int32, exact bool, stopLevel float64, n int) {
+	for i, rec := range log {
+		if rec.node == q {
+			return rec.rank, true, rec.dist, i + 1
+		}
+		// rec.rank-1 is the strictly-closer count when rec settled; the
+		// serial run checks it against the threshold after logging.
+		if rec.rank-1 >= kRank {
+			return rec.rank, false, rec.dist, i + 1
+		}
+	}
+	// The worker exhausted p's component without finding q; the serial run
+	// (threshold <= every threshold the worker saw) would have done the
+	// same, or aborted inside the log — which the loop above would have
+	// caught.
+	return rank.Unreachable, false, math.Inf(1), len(log)
+}

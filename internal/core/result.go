@@ -12,6 +12,13 @@ import (
 // mirror the paper's performance metrics: Refinements is the "Rank
 // Refinement" column reported throughout Section 6, and the bound-win
 // counters feed the Table 11 analysis.
+//
+// Under intra-query parallelism (Options.RefineWorkers > 0) every decision
+// counter is still byte-identical to a serial run — speculation never
+// changes what the engine decides, only when the work runs — but
+// RefineSettled can exceed the serial count (a worker running against a
+// stale prune bound settles further before aborting), and the
+// Speculative* counters become nonzero. Results never differ.
 type Stats struct {
 	// Refinements counts GetRank invocations (partial Dijkstra searches).
 	Refinements int
@@ -34,6 +41,19 @@ type Stats struct {
 	// whose lower bound was evaluated, which Theorem-2 component was the
 	// maximum (ties attributed in the order height, count, parent).
 	HeightWins, CountWins, ParentWins int64
+	// SpeculativeRefinements counts refinements launched onto worker
+	// goroutines by the intra-query parallel pipeline
+	// (Options.RefineWorkers > 0); always 0 for serial queries.
+	SpeculativeRefinements int
+	// SpeculativeWasted counts the subset of speculative refinements whose
+	// results were discarded because, by the time serial order reached the
+	// candidate, the Theorem-2 bound pruned it or an index hit answered it.
+	SpeculativeWasted int
+	// SpeculativeStolen counts launched refinements no worker had started
+	// by the time serial order needed (or discarded) them; the coordinator
+	// reclaimed them, so any needed ranks were computed inline. High values
+	// mean the workers are starved — fewer RefineWorkers would do.
+	SpeculativeStolen int
 }
 
 // Add accumulates other into s (used when averaging over query batches).
@@ -48,6 +68,9 @@ func (s *Stats) Add(other Stats) {
 	s.HeightWins += other.HeightWins
 	s.CountWins += other.CountWins
 	s.ParentWins += other.ParentWins
+	s.SpeculativeRefinements += other.SpeculativeRefinements
+	s.SpeculativeWasted += other.SpeculativeWasted
+	s.SpeculativeStolen += other.SpeculativeStolen
 }
 
 // Result is the answer to one reverse k-ranks query.

@@ -49,6 +49,10 @@ type Config struct {
 	// to (<= 0 uses GOMAXPROCS).
 	Workers int
 
+	// RefineWorkers is the maximum intra-query refine worker count the
+	// latency experiment sweeps to (<= 0 uses GOMAXPROCS).
+	RefineWorkers int
+
 	Seed int64
 }
 
@@ -82,9 +86,10 @@ func Small() Config {
 		HubFrac: 0.1, IndexFrac: 0.1,
 		HFracs:   []float64{0.03, 0.1, 0.15},
 		MFracs:   []float64{0.03, 0.1, 0.15},
-		Strategy: hub.DegreeFirst,
-		Workers:  4,
-		Seed:     1,
+		Strategy:      hub.DegreeFirst,
+		Workers:       4,
+		RefineWorkers: 4,
+		Seed:          1,
 	}
 }
 

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rkranks/internal/core"
+	"rkranks/internal/graph"
+	"rkranks/internal/stats"
+	"rkranks/internal/workload"
+)
+
+// Latency goes beyond the paper's evaluation in the direction orthogonal
+// to Serving: where Serving measures the aggregate throughput of many
+// concurrent queries, Latency measures how fast ONE query finishes when
+// its rank refinements run on Options.RefineWorkers speculative workers
+// (see core/parallel.go). Queries are issued strictly one at a time and
+// timed individually; each sweep point reports p50/p99/mean and the mean
+// speedup over the serial engine. Results are byte-identical across the
+// sweep — only the wall clock moves.
+func (r *Runner) Latency() (*stats.Table, error) {
+	t := stats.NewTable("Latency: intra-query parallel refinement (Dynamic, one query at a time)",
+		"dataset", "refine workers", "p50 (s)", "p99 (s)", "mean (s)", "speedup vs serial")
+	k := defaultK(r.cfg.Ks)
+	road, _ := r.Road()
+	sets := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"dblp", r.DBLP()},
+		{"road", road},
+	}
+	for _, s := range sets {
+		queries := workload.Random(s.g, r.cfg.Queries, r.cfg.Seed+29)
+		var base float64
+		for _, w := range refineSweep(r.cfg.RefineWorkers) {
+			e := core.NewEngine(s.g, core.Options{RefineWorkers: w})
+			// Untimed warm-up so workspaces reach their high-water marks.
+			if _, err := e.Query(core.Dynamic, queries[0], k); err != nil {
+				return nil, err
+			}
+			durs := make([]float64, 0, len(queries))
+			for _, q := range queries {
+				start := time.Now()
+				if _, err := e.Query(core.Dynamic, q, k); err != nil {
+					return nil, err
+				}
+				durs = append(durs, time.Since(start).Seconds())
+			}
+			mean := stats.Mean(durs)
+			if w == 0 {
+				base = mean
+			}
+			t.Add(s.name, w,
+				fmt.Sprintf("%.6f", stats.Percentile(durs, 50)),
+				fmt.Sprintf("%.6f", stats.Percentile(durs, 99)),
+				fmt.Sprintf("%.6f", mean),
+				fmt.Sprintf("%.2fx", base/mean))
+		}
+	}
+	t.Note("%d queries per point, k=%d; workers=0 is the serial engine; results are byte-identical at every point", r.cfg.Queries, k)
+	return t, nil
+}
+
+// refineSweep returns the RefineWorkers axis: the serial engine (0), then
+// the same powers-of-two sweep the serving experiment uses.
+func refineSweep(max int) []int {
+	return append([]int{0}, workerSweep(max)...)
+}

@@ -145,8 +145,9 @@ func runBatch(e *core.Engine, algo core.Algorithm, queries []int32, k int) (batc
 	return b, nil
 }
 
-// Experiment names, in paper order; "serving" extends the paper's
-// evaluation with the pooled-concurrency throughput study.
+// Experiment names, in paper order; "serving" and "latency" extend the
+// paper's evaluation with the pooled-concurrency throughput study and the
+// intra-query parallel refinement latency study.
 var names = []string{
 	"table3", "table4", "figure5",
 	"figure6", "naive",
@@ -155,6 +156,7 @@ var names = []string{
 	"table14", "table15",
 	"figure7",
 	"serving",
+	"latency",
 }
 
 // Names lists all experiment identifiers in paper order.
@@ -211,6 +213,9 @@ func (r *Runner) Run(name string) ([]*stats.Table, error) {
 		return r.Figure7()
 	case "serving":
 		t, err := r.Serving()
+		return wrap(t), err
+	case "latency":
+		t, err := r.Latency()
 		return wrap(t), err
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, names)

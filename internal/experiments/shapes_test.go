@@ -215,3 +215,40 @@ func TestExperimentsDeterminism(t *testing.T) {
 		t.Errorf("Table 3 not deterministic:\n%s\nvs\n%s", a, b)
 	}
 }
+
+// TestLatencyShape: the latency sweep covers both datasets, starts at the
+// serial engine (workers=0, speedup 1.00x), and every cell parses. No
+// ordering is asserted between sweep points — wall-clock speedup depends
+// on the core count of the host — only that the experiment produces a
+// well-formed sweep.
+func TestLatencyShape(t *testing.T) {
+	cfg := Small()
+	cfg.Queries = 4
+	cfg.RefineWorkers = 2
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := r.Latency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, row := range tab.Rows {
+		seen[row[0]]++
+		if row[1] == "0" && !strings.HasPrefix(row[5], "1.00x") {
+			t.Errorf("serial row has speedup %q, want 1.00x", row[5])
+		}
+		for _, cell := range row[2:5] {
+			if cellFloat(t, cell) < 0 {
+				t.Errorf("negative latency cell %q in row %v", cell, row)
+			}
+		}
+		if !strings.HasSuffix(row[5], "x") {
+			t.Errorf("speedup cell %q not in Nx form", row[5])
+		}
+	}
+	if seen["dblp"] < 3 || seen["road"] < 3 {
+		t.Errorf("expected >= 3 sweep points per dataset, got %v", seen)
+	}
+}

@@ -1,0 +1,96 @@
+package pqueue
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks guarding the 4-ary heap layout. Run with -benchmem:
+// none of these may allocate in steady state, the push-heavy workload must
+// be no slower than the binary heap it replaced, and the pop-heavy one
+// faster (shallower sift-downs).
+
+const benchN = 1 << 14
+
+func benchKeys(n int) []float64 {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = rng.Float64() * 1e3
+	}
+	return keys
+}
+
+// BenchmarkPushPop is the full Dijkstra-shaped cycle: fill the queue with
+// random priorities (push-heavy phase), then drain it (pop-heavy phase,
+// where the 4-ary sift-down earns its keep).
+func BenchmarkPushPop(b *testing.B) {
+	keys := benchKeys(benchN)
+	q := New(benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Reset()
+		for v, p := range keys {
+			q.Push(int32(v), p)
+		}
+		for q.Len() > 0 {
+			q.PopMin()
+		}
+	}
+}
+
+// BenchmarkPush isolates the push-heavy half (never-seen fast path).
+func BenchmarkPush(b *testing.B) {
+	keys := benchKeys(benchN)
+	q := New(benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Reset()
+		for v, p := range keys {
+			q.Push(int32(v), p)
+		}
+	}
+}
+
+// BenchmarkPop isolates the pop-heavy half.
+func BenchmarkPop(b *testing.B) {
+	keys := benchKeys(benchN)
+	q := New(benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		q.Reset()
+		for v, p := range keys {
+			q.Push(int32(v), p)
+		}
+		b.StartTimer()
+		for q.Len() > 0 {
+			q.PopMin()
+		}
+	}
+}
+
+// BenchmarkDecreaseKey stresses the decrease-key path: every node is
+// pushed once, then repeatedly lowered toward zero, as happens when dense
+// frontiers keep finding shorter paths.
+func BenchmarkDecreaseKey(b *testing.B) {
+	keys := benchKeys(benchN)
+	q := New(benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Reset()
+		for v, p := range keys {
+			q.Push(int32(v), p+1e3)
+		}
+		for round := 1; round <= 4; round++ {
+			f := 1 - float64(round)/5
+			for v, p := range keys {
+				q.Push(int32(v), (p+1e3)*f)
+			}
+		}
+	}
+}

@@ -1,4 +1,4 @@
-// Package pqueue implements an indexed binary min-heap over dense int32
+// Package pqueue implements an indexed 4-ary min-heap over dense int32
 // node ids with float64 priorities and decrease-key support.
 //
 // The queue is built once per graph size and reused across queries: Reset is
@@ -6,6 +6,13 @@
 // costs O(t log t) regardless of the graph size. This matters for the
 // reverse k-ranks engines, which run thousands of small partial Dijkstra
 // searches over multi-million-node graphs.
+//
+// The heap is 4-ary rather than binary: rank refinements are pop-heavy
+// (every queued node is eventually popped or abandoned), and a 4-ary
+// layout halves the sift-down depth while keeping the per-level child
+// scan inside one cache line of the heap array. Sifts cache the moving
+// node's priority in a register instead of re-loading prio[heap[i]] per
+// comparison.
 package pqueue
 
 // Queue is an indexed min-heap. The zero value is unusable; call New.
@@ -52,9 +59,7 @@ func (q *Queue) Reset() {
 	q.heap = q.heap[:0]
 	q.epoch++
 	if q.epoch == 0 { // epoch wrapped: clear stamps for safety
-		for i := range q.stamp {
-			q.stamp[i] = 0
-		}
+		clear(q.stamp)
 		q.epoch = 1
 	}
 }
@@ -71,6 +76,14 @@ func (q *Queue) Contains(v int32) bool {
 // whether or not it has been popped.
 func (q *Queue) Seen(v int32) bool { return q.stamp[v] == q.epoch }
 
+// Popped reports whether v was pushed and subsequently popped since the
+// last Reset. It is Seen(v) && !Contains(v) collapsed into a single
+// stamped-array read — the settled check of every Dijkstra wrapper runs
+// through here.
+func (q *Queue) Popped(v int32) bool {
+	return q.stamp[v] == q.epoch && q.pos[v] == popped
+}
+
 // Priority returns the current priority of a queued node v. If v was popped
 // it returns the priority it was popped with. The result is unspecified
 // when !Seen(v).
@@ -81,9 +94,10 @@ func (q *Queue) Priority(v int32) float64 { return q.prio[v] }
 // changed (false when v is queued with priority <= p, or already popped).
 func (q *Queue) Push(v int32, p float64) bool {
 	if q.stamp[v] != q.epoch {
+		// Fast path: first touch of v this epoch. Append and sift up;
+		// up() writes pos[v], so no slot bookkeeping is needed here.
 		q.stamp[v] = q.epoch
 		q.prio[v] = p
-		q.pos[v] = int32(len(q.heap))
 		q.heap = append(q.heap, v)
 		q.up(len(q.heap) - 1)
 		return true
@@ -94,6 +108,16 @@ func (q *Queue) Push(v int32, p float64) bool {
 	q.prio[v] = p
 	q.up(int(q.pos[v]))
 	return true
+}
+
+// Min returns the node and priority PopMin would return, without removing
+// it. ok is false when the queue is empty.
+func (q *Queue) Min() (v int32, p float64, ok bool) {
+	if len(q.heap) == 0 {
+		return -1, 0, false
+	}
+	v = q.heap[0]
+	return v, q.prio[v], true
 }
 
 // PopMin removes and returns the queued node with the smallest priority,
@@ -112,24 +136,19 @@ func (q *Queue) PopMin() (int32, float64) {
 	return v, p
 }
 
-func (q *Queue) less(a, b int32) bool {
-	pa, pb := q.prio[a], q.prio[b]
-	if pa != pb {
-		return pa < pb
-	}
-	return a < b
-}
-
 func (q *Queue) up(i int) {
 	node := q.heap[i]
+	np := q.prio[node]
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(node, q.heap[parent]) {
+		pi := (i - 1) >> 2
+		pn := q.heap[pi]
+		pp := q.prio[pn]
+		if np > pp || (np == pp && node > pn) {
 			break
 		}
-		q.heap[i] = q.heap[parent]
-		q.pos[q.heap[i]] = int32(i)
-		i = parent
+		q.heap[i] = pn
+		q.pos[pn] = int32(i)
+		i = pi
 	}
 	q.heap[i] = node
 	q.pos[node] = int32(i)
@@ -137,22 +156,33 @@ func (q *Queue) up(i int) {
 
 func (q *Queue) down(i int) {
 	node := q.heap[i]
+	np := q.prio[node]
 	n := len(q.heap)
 	for {
-		l := 2*i + 1
-		if l >= n {
+		c := i<<2 + 1
+		if c >= n {
 			break
 		}
-		child := l
-		if r := l + 1; r < n && q.less(q.heap[r], q.heap[l]) {
-			child = r
+		end := c + 4
+		if end > n {
+			end = n
 		}
-		if !q.less(q.heap[child], node) {
+		bi := c
+		bn := q.heap[c]
+		bp := q.prio[bn]
+		for j := c + 1; j < end; j++ {
+			hn := q.heap[j]
+			hp := q.prio[hn]
+			if hp < bp || (hp == bp && hn < bn) {
+				bi, bn, bp = j, hn, hp
+			}
+		}
+		if bp > np || (bp == np && bn > node) {
 			break
 		}
-		q.heap[i] = q.heap[child]
-		q.pos[q.heap[i]] = int32(i)
-		i = child
+		q.heap[i] = bn
+		q.pos[bn] = int32(i)
+		i = bi
 	}
 	q.heap[i] = node
 	q.pos[node] = int32(i)

@@ -210,6 +210,110 @@ func TestInterleavedPopPush(t *testing.T) {
 	}
 }
 
+// FuzzPopOrder drives the queue with an arbitrary op stream (pushes,
+// decrease-keys, interleaved pops) using heavily quantized priorities so
+// ties are the common case, and asserts every pop matches a reference
+// sort by (priority, node id) of the nodes still queued. Run with
+// `go test -fuzz=FuzzPopOrder` to search beyond the seed corpus.
+func FuzzPopOrder(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 128, 7, 7, 7, 3, 3, 9, 200, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const n = 16
+		q := New(n)
+		q.Reset()
+		final := map[int32]float64{}
+		for i := 0; i+1 < len(ops); i += 2 {
+			if ops[i]&0x80 != 0 && q.Len() > 0 {
+				wv, wp := popReference(final)
+				v, p := q.PopMin()
+				if v != wv || p != wp {
+					t.Fatalf("op %d: popped (%d,%g), reference (%d,%g)", i, v, p, wv, wp)
+				}
+				delete(final, v)
+				continue
+			}
+			v := int32(ops[i] % n)
+			p := float64(ops[i+1] % 8) // few distinct values -> dense ties
+			if _, ok := final[v]; ok || q.Seen(v) {
+				if cur, ok := final[v]; ok && p < cur && q.Push(v, p) {
+					final[v] = p
+				} else {
+					q.Push(v, p) // increase or re-push of popped: no-op
+				}
+				continue
+			}
+			if q.Push(v, p) {
+				final[v] = p
+			}
+		}
+		for q.Len() > 0 {
+			wv, wp := popReference(final)
+			v, p := q.PopMin()
+			if v != wv || p != wp {
+				t.Fatalf("drain: popped (%d,%g), reference (%d,%g)", v, p, wv, wp)
+			}
+			delete(final, v)
+		}
+		if len(final) != 0 {
+			t.Fatalf("queue drained but reference still holds %v", final)
+		}
+	})
+}
+
+// popReference returns the (node, priority) pair a correct queue must pop
+// next: smallest priority, smaller id on ties.
+func popReference(final map[int32]float64) (int32, float64) {
+	best := int32(-1)
+	bp := 0.0
+	for v, p := range final {
+		if best < 0 || p < bp || (p == bp && v < best) {
+			best, bp = v, p
+		}
+	}
+	return best, bp
+}
+
+func TestMinPeek(t *testing.T) {
+	q := New(4)
+	q.Reset()
+	if _, _, ok := q.Min(); ok {
+		t.Error("Min on empty queue reported ok")
+	}
+	q.Push(2, 3.5)
+	q.Push(1, 1.5)
+	if v, p, ok := q.Min(); !ok || v != 1 || p != 1.5 {
+		t.Errorf("Min = (%d,%g,%v), want (1,1.5,true)", v, p, ok)
+	}
+	if q.Len() != 2 {
+		t.Error("Min consumed an entry")
+	}
+	if v, _ := q.PopMin(); v != 1 {
+		t.Error("Min disagreed with PopMin")
+	}
+}
+
+func TestPopped(t *testing.T) {
+	q := New(3)
+	q.Reset()
+	q.Push(1, 1)
+	if q.Popped(1) || q.Popped(2) {
+		t.Error("Popped true before any pop")
+	}
+	q.PopMin()
+	if !q.Popped(1) {
+		t.Error("Popped false after pop")
+	}
+	if q.Popped(2) {
+		t.Error("never-seen node reported popped")
+	}
+	q.Reset()
+	if q.Popped(1) {
+		t.Error("Popped survived Reset")
+	}
+}
+
 func TestPriorityOfPopped(t *testing.T) {
 	q := New(3)
 	q.Reset()

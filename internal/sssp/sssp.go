@@ -77,6 +77,51 @@ func (s *Search) Pop() (v int32, dist float64, ok bool) {
 	return v, dist, true
 }
 
+// Peek returns the node Pop would settle next, without settling it. ok is
+// false when the frontier is exhausted. The speculative refinement
+// coordinator uses this to test a pop against its lookahead safety bound
+// before committing to it.
+func (s *Search) Peek() (v int32, dist float64, ok bool) {
+	return s.q.Min()
+}
+
+// PopExpandBounded fuses Pop with ExpandBounded for the rank-refinement
+// inner loop, where every settled node is expanded immediately and the
+// per-node cost of two exported calls is measurable. The returned node has
+// already been expanded; a caller that decides to stop after inspecting it
+// simply abandons the search (the one extra expansion is harmless — the
+// queue is reset before reuse, and with maxDist set to the refinement
+// cutoff most of its relaxations are dropped anyway).
+func (s *Search) PopExpandBounded(maxDist float64) (v int32, dist float64, ok bool) {
+	if s.q.Len() == 0 {
+		return -1, 0, false
+	}
+	v, dist = s.q.PopMin()
+	s.settled++
+	if p := s.parent[v]; p >= 0 {
+		s.depth[v] = s.depth[p] + 1
+	} else {
+		s.depth[v] = 0
+	}
+	var ts []int32
+	var ws []float64
+	if s.reverse {
+		ts, ws = s.g.RNeighbors(v)
+	} else {
+		ts, ws = s.g.Neighbors(v)
+	}
+	for i, t := range ts {
+		nd := dist + ws[i]
+		if nd > maxDist {
+			continue
+		}
+		if s.q.Push(t, nd) {
+			s.parent[t] = v
+		}
+	}
+	return v, dist, true
+}
+
 // Expand relaxes the out-arcs of a node previously returned by Pop, where
 // dist is the distance Pop reported for it.
 func (s *Search) Expand(v int32, dist float64) {
@@ -130,8 +175,10 @@ func (s *Search) Next() (v int32, dist float64, ok bool) {
 	return v, dist, ok
 }
 
-// Settled reports whether v has been settled in the current run.
-func (s *Search) Settled(v int32) bool { return s.q.Seen(v) && !s.q.Contains(v) }
+// Settled reports whether v has been settled in the current run. This is
+// on the hot path of every refinement's settle-log application, so it is a
+// single stamped-array read (pqueue.Popped) rather than Seen && !Contains.
+func (s *Search) Settled(v int32) bool { return s.q.Popped(v) }
 
 // Reached reports whether v has been touched (settled or queued).
 func (s *Search) Reached(v int32) bool { return s.q.Seen(v) }

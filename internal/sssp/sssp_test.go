@@ -300,3 +300,54 @@ func TestReverseOnDirectedCycle(t *testing.T) {
 		}
 	}
 }
+
+// TestPopExpandBoundedMatchesSplitCalls: the fused call must settle the
+// exact same (node, dist) sequence as Pop followed by ExpandBounded, for
+// any bound, on forward and reverse traversals.
+func TestPopExpandBoundedMatchesSplitCalls(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		g := gen.GNM(120, 500, directed, 61)
+		a, b := New(g), New(g)
+		for _, src := range []int32{0, 7, 63} {
+			for _, maxDist := range []float64{math.Inf(1), 3.5, 0.9} {
+				a.Reset(src)
+				b.Reset(src)
+				for {
+					v1, d1, ok1 := a.PopExpandBounded(maxDist)
+					v2, d2, ok2 := b.Pop()
+					if ok2 {
+						b.ExpandBounded(v2, d2, maxDist)
+					}
+					if ok1 != ok2 || v1 != v2 || d1 != d2 {
+						t.Fatalf("directed=%v src=%d max=%g: fused (%d,%g,%v) vs split (%d,%g,%v)",
+							directed, src, maxDist, v1, d1, ok1, v2, d2, ok2)
+					}
+					if !ok1 {
+						break
+					}
+					if a.Settled(v1) != b.Settled(v1) || a.Depth(v1) != b.Depth(v1) || a.Parent(v1) != b.Parent(v1) {
+						t.Fatalf("bookkeeping diverged at node %d", v1)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPeek: Peek must preview the next Pop without consuming it.
+func TestPeekPreviewsPop(t *testing.T) {
+	g := gen.GNM(60, 200, false, 62)
+	s := New(g)
+	s.Reset(3)
+	for {
+		pv, pd, pok := s.Peek()
+		v, d, ok := s.Pop()
+		if pok != ok || pv != v || pd != d {
+			t.Fatalf("Peek (%d,%g,%v) disagrees with Pop (%d,%g,%v)", pv, pd, pok, v, d, ok)
+		}
+		if !ok {
+			break
+		}
+		s.Expand(v, d)
+	}
+}

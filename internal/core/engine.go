@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"rkranks/internal/graph"
 	"rkranks/internal/ridx"
@@ -51,6 +53,14 @@ type Engine struct {
 
 	tracing  bool
 	traceLog []TraceEvent
+
+	// stop is the current query's cancellation flag, non-nil only for
+	// QueryContext calls whose context can actually be canceled. It is a
+	// fresh allocation per such query so a context firing late (after the
+	// query returned) writes to a stale object instead of poisoning the
+	// next query. Refiners poll it on a coarse settle cadence; the
+	// traversal loops poll it per pop.
+	stop *atomic.Bool
 
 	// per-query feature switches
 	bounds   Bounds
@@ -108,52 +118,78 @@ func (e *Engine) Index() ridx.Index { return e.idx }
 
 // Query runs algorithm a for query node q with result size k.
 func (e *Engine) Query(a Algorithm, q int32, k int) (*Result, error) {
-	if err := e.checkArgs(q, k); err != nil {
+	return e.QueryContext(context.Background(), a, q, k)
+}
+
+// QueryContext is Query with cancellation: when ctx is canceled or its
+// deadline passes, the traversal and every in-flight rank refinement
+// (including speculative worker runs) stop within a bounded number of
+// settles and the call returns ctx's error. A canceled query leaves the
+// engine (and any shared index) in a consistent state — cancellation
+// discards work, it never applies partial results — so the engine is
+// immediately reusable.
+func (e *Engine) QueryContext(ctx context.Context, a Algorithm, q int32, k int) (*Result, error) {
+	if err := validateRequest(a, k); err != nil {
 		return nil, err
 	}
-	switch a {
-	case Naive, Static, Dynamic, Indexed:
-	default:
-		return nil, fmt.Errorf("core: unknown algorithm %v", a)
+	if err := e.checkArgs(q); err != nil {
+		return nil, err
 	}
 	if a == Indexed {
 		if e.idx == nil {
-			return nil, fmt.Errorf("core: Indexed query requires SetIndex")
+			return nil, fmt.Errorf("core: Indexed query requires SetIndex: %w", ErrIndexRequired)
 		}
 		if k > e.idx.MaxK() {
-			return nil, fmt.Errorf("core: k=%d exceeds index K=%d", k, e.idx.MaxK())
+			return nil, fmt.Errorf("core: k=%d exceeds index K=%d: %w", k, e.idx.MaxK(), ErrInvalidK)
 		}
 	}
+	e.stop = nil
+	if ctx.Done() != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: query not started: %w", err)
+		}
+		flag := new(atomic.Bool)
+		e.stop = flag
+		defer context.AfterFunc(ctx, func() { flag.Store(true) })()
+	}
+	res := e.dispatch(a, q, k)
+	if e.stopped() {
+		return nil, fmt.Errorf("core: query canceled: %w", ctx.Err())
+	}
+	return res, nil
+}
+
+// dispatch routes a validated query to its engine implementation.
+func (e *Engine) dispatch(a Algorithm, q int32, k int) *Result {
 	if e.opts.refineWorkers() > 0 {
 		if a == Naive {
-			return e.naiveParallel(q, k), nil
+			return e.naiveParallel(q, k)
 		}
-		return e.treeParallel(a, q, k), nil
+		return e.treeParallel(a, q, k)
 	}
 	switch a {
 	case Naive:
-		return e.naive(q, k), nil
+		return e.naive(q, k)
 	case Static:
-		return e.static(q, k), nil
+		return e.static(q, k)
 	case Dynamic:
-		return e.dynamic(q, k), nil
-	case Indexed:
-		return e.indexed(q, k), nil
+		return e.dynamic(q, k)
 	default:
-		// Unreachable: the validity switch above rejects everything else.
-		return nil, fmt.Errorf("core: algorithm %v has no serial dispatch", a)
+		return e.indexed(q, k)
 	}
 }
 
-func (e *Engine) checkArgs(q int32, k int) error {
+// stopped reports whether the current query's context has been canceled.
+func (e *Engine) stopped() bool {
+	return e.stop != nil && e.stop.Load()
+}
+
+func (e *Engine) checkArgs(q int32) error {
 	if q < 0 || int(q) >= e.g.N() {
-		return fmt.Errorf("core: query node %d out of range [0,%d)", q, e.g.N())
-	}
-	if k < 1 {
-		return fmt.Errorf("core: k must be >= 1, got %d", k)
+		return fmt.Errorf("core: query node %d out of range [0,%d): %w", q, e.g.N(), ErrInvalidQueryNode)
 	}
 	if e.opts.Counted != nil && !e.opts.Counted[q] {
-		return fmt.Errorf("core: bichromatic query node %d is not in the counted class V2", q)
+		return fmt.Errorf("core: bichromatic query node %d is not in the counted class V2: %w", q, ErrInvalidQueryNode)
 	}
 	return nil
 }
@@ -177,7 +213,7 @@ func (e *Engine) begin(q int32, k int, a Algorithm) {
 	e.bounds = e.opts.effectiveBounds(e.g)
 	e.useLc = a != Naive && a != Static && e.bounds&BoundCount != 0
 	e.indexing = a == Indexed
-	e.rf.prepare(q, e.opts.Counted, e.opts.DisableDistanceCutoff)
+	e.rf.prepare(q, e.opts.Counted, e.opts.DisableDistanceCutoff, e.stop)
 }
 
 func (e *Engine) candidate(v int32) bool {
@@ -330,6 +366,14 @@ func (e *Engine) refine(p int32, dpq float64, seq int32) (bound int32, exact boo
 	var out refineResult
 	out, e.scratch = e.rf.run(p, dpq, e.heap.kRank(), nil, nil, e.scratch[:0])
 	e.stats.RefineSettled += out.settled
+	if out.stopped {
+		// The query's context was canceled mid-refinement: the truncated
+		// log must not feed the Lemma-4 counters or the index (its stop
+		// point is meaningless), so apply nothing. Returning the trivial
+		// lower bound keeps any state the caller still touches sound; the
+		// traversal loop notices the flag and abandons the query.
+		return 0, false
+	}
 	if out.aborted {
 		e.stats.RefineAborted++
 	}

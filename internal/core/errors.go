@@ -1,0 +1,48 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for request validation and admission, designed for
+// errors.Is dispatch at serving boundaries (internal/server maps
+// ErrInvalidArgument to HTTP 400 and context errors to 504). Every
+// validation failure the engine or pool reports wraps ErrInvalidArgument,
+// and the more specific sentinels below additionally wrap it, so callers
+// can branch as coarsely or finely as they need.
+var (
+	// ErrInvalidArgument is the root of every request-validation error.
+	ErrInvalidArgument = errors.New("invalid argument")
+
+	// ErrUnknownAlgorithm reports an Algorithm value outside the four
+	// defined engines.
+	ErrUnknownAlgorithm = fmt.Errorf("unknown algorithm: %w", ErrInvalidArgument)
+
+	// ErrInvalidK reports a result size k < 1, or one exceeding the
+	// attached index's MaxK for Indexed queries.
+	ErrInvalidK = fmt.Errorf("invalid k: %w", ErrInvalidArgument)
+
+	// ErrInvalidQueryNode reports a query node outside [0, N), or outside
+	// the counted class for bichromatic queries.
+	ErrInvalidQueryNode = fmt.Errorf("invalid query node: %w", ErrInvalidArgument)
+
+	// ErrIndexRequired reports an Indexed query against an engine without
+	// SetIndex, or a pool built without NewPoolWithIndex.
+	ErrIndexRequired = fmt.Errorf("index required: %w", ErrInvalidArgument)
+)
+
+// validateRequest checks the (algorithm, k) pair every query entry point
+// shares. The pool performs it before borrowing an engine, so a malformed
+// request is rejected immediately instead of occupying a permit.
+func validateRequest(a Algorithm, k int) error {
+	switch a {
+	case Naive, Static, Dynamic, Indexed:
+	default:
+		return fmt.Errorf("core: algorithm %d: %w", int(a), ErrUnknownAlgorithm)
+	}
+	if k < 1 {
+		return fmt.Errorf("core: k must be >= 1, got %d: %w", k, ErrInvalidK)
+	}
+	return nil
+}

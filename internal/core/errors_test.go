@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"rkranks/internal/gen"
+	"rkranks/internal/ridx"
+)
+
+// TestPoolValidationTable: malformed requests are rejected at the pool
+// boundary with typed errors, before any engine permit is consumed.
+func TestPoolValidationTable(t *testing.T) {
+	g := gen.DBLPLike(gen.DBLPLikeParams{Nodes: 120, AttachPerNode: 3, Seed: 5})
+	pool := NewPool(g, Options{}, 1)
+
+	cases := []struct {
+		name string
+		algo Algorithm
+		q    int32
+		k    int
+		want error
+	}{
+		{"unknown algorithm", Algorithm(42), 0, 5, ErrUnknownAlgorithm},
+		{"negative algorithm", Algorithm(-1), 0, 5, ErrUnknownAlgorithm},
+		{"k zero", Dynamic, 0, 0, ErrInvalidK},
+		{"k negative", Naive, 0, -3, ErrInvalidK},
+		{"indexed without index", Indexed, 0, 5, ErrIndexRequired},
+		{"query node negative", Dynamic, -1, 5, ErrInvalidQueryNode},
+		{"query node out of range", Dynamic, int32(g.N()), 5, ErrInvalidQueryNode},
+		{"valid", Dynamic, 0, 5, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := pool.Query(tc.algo, tc.q, tc.k)
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v, want %v", err, tc.want)
+			}
+			if !errors.Is(err, ErrInvalidArgument) {
+				t.Errorf("error %v does not wrap ErrInvalidArgument", err)
+			}
+		})
+	}
+}
+
+// TestQueryManyValidation: a malformed batch fails fast with a typed error
+// instead of running (or partially running) the workload.
+func TestQueryManyValidation(t *testing.T) {
+	g := gen.DBLPLike(gen.DBLPLikeParams{Nodes: 120, AttachPerNode: 3, Seed: 5})
+	pool := NewPool(g, Options{}, 2)
+	queries := []int32{0, 1, 2, 3}
+
+	if _, err := pool.QueryMany(Algorithm(9), queries, 5); !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Errorf("unknown algorithm: got %v", err)
+	}
+	if _, err := pool.QueryMany(Dynamic, queries, 0); !errors.Is(err, ErrInvalidK) {
+		t.Errorf("k=0: got %v", err)
+	}
+	if _, err := pool.QueryMany(Indexed, queries, 5); !errors.Is(err, ErrIndexRequired) {
+		t.Errorf("indexed without index: got %v", err)
+	}
+	if _, err := pool.QueryMany(Dynamic, queries, 5); err != nil {
+		t.Errorf("valid batch: %v", err)
+	}
+}
+
+// TestEngineValidationTable mirrors the pool table on a bare engine,
+// including the index-specific k cap.
+func TestEngineValidationTable(t *testing.T) {
+	g := gen.DBLPLike(gen.DBLPLikeParams{Nodes: 120, AttachPerNode: 3, Seed: 5})
+	ix, err := ridx.Build(g, ridx.BuildParams{Hubs: []int32{0, 1, 2}, M: 20, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g, Options{})
+	e.SetIndex(ix)
+
+	cases := []struct {
+		name string
+		algo Algorithm
+		q    int32
+		k    int
+		want error
+	}{
+		{"unknown algorithm", Algorithm(7), 0, 5, ErrUnknownAlgorithm},
+		{"k zero", Dynamic, 0, 0, ErrInvalidK},
+		{"k beyond index K", Indexed, 0, 11, ErrInvalidK},
+		{"query out of range", Static, 9999, 5, ErrInvalidQueryNode},
+		{"valid indexed", Indexed, 0, 10, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := e.Query(tc.algo, tc.q, tc.k)
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v, want %v", err, tc.want)
+			}
+		})
+	}
+}

@@ -211,7 +211,7 @@ func (e *Engine) parState() *parallelState {
 func (e *Engine) beginParallel() *parallelState {
 	ps := e.parState()
 	for _, rf := range ps.refiners {
-		rf.prepare(e.q, e.opts.Counted, e.opts.DisableDistanceCutoff)
+		rf.prepare(e.q, e.opts.Counted, e.opts.DisableDistanceCutoff, e.stop)
 	}
 	ps.kRank.Store(e.heap.kRank())
 	ps.free = ps.free[:0]
@@ -290,11 +290,11 @@ func (e *Engine) treeParallel(algo Algorithm, q int32, k int) *Result {
 	ring := ps.ring
 	head, count := 0, 0
 
-	for {
+	for !e.stopped() {
 		// Eagerly apply every finished head: earlier side effects tighten
 		// kRank and the Lemma-4 counters, which both sharpens later
 		// submission decisions and lets in-flight workers abort sooner.
-		for count > 0 {
+		for count > 0 && !e.stopped() {
 			en := &ring[head]
 			if en.job != nil && !pollJob(en.job) {
 				break
@@ -302,6 +302,9 @@ func (e *Engine) treeParallel(algo Algorithm, q int32, k int) *Result {
 			e.applyEntry(algo, en, ps)
 			head = (head + 1) % window
 			count--
+		}
+		if e.stopped() {
+			break
 		}
 		if count < window {
 			if v, d, ok := e.tree.Peek(); ok && (count == 0 || d < specBarrier(ring, head, count, window, ps.minArc)) {
@@ -323,8 +326,22 @@ func (e *Engine) treeParallel(algo Algorithm, q int32, k int) *Result {
 		break // frontier exhausted, nothing pending
 	}
 
+	e.drainPending(ps, ring, head, count, window)
 	e.endParallel(ps)
 	return e.finish()
+}
+
+// drainPending discards every popped-but-unapplied entry — the
+// cancellation exit path (count is always 0 on a normal exit). Discarded
+// jobs are canceled or reclaimed, never applied, so a canceled query
+// cannot feed truncated refinement logs into the heap, the Lemma-4
+// counters, or a shared index.
+func (e *Engine) drainPending(ps *parallelState, ring []pendingEntry, head, count, window int) {
+	for i := 0; i < count; i++ {
+		en := &ring[(head+i)%window]
+		e.discardJob(ps, en.job)
+		en.job = nil
+	}
 }
 
 // specBarrier returns the exclusive distance bound below which the next
@@ -430,6 +447,15 @@ func (e *Engine) applyCandidate(algo Algorithm, en *pendingEntry, ps *parallelSt
 		e.refineAndSettle(v, d, en.seq)
 		return
 	}
+	waitJob(j)
+	if j.out.stopped {
+		// The worker stopped mid-search because the query's context was
+		// canceled; its log is truncated below any serial stop point and
+		// must not be replayed or applied. The coordinator sees the stop
+		// flag on its next loop check and abandons the query.
+		ps.free = append(ps.free, j)
+		return
+	}
 	bound, exact, stopLevel, n := e.replayAndAccount(j)
 	e.applyRefineLog(v, j.log[:n], bound, exact, stopLevel, en.seq)
 	ps.free = append(ps.free, j)
@@ -498,7 +524,7 @@ func (e *Engine) naiveParallel(q int32, k int) *Result {
 	n := int32(e.g.N())
 	next := int32(0)
 	inf := math.Inf(1)
-	for {
+	for !e.stopped() {
 		for count < window && next < n {
 			p := next
 			next++
@@ -524,6 +550,7 @@ func (e *Engine) naiveParallel(q int32, k int) *Result {
 		ps.kRank.Store(e.heap.kRank())
 	}
 
+	e.drainPending(ps, ring, head, count, window)
 	e.endParallel(ps)
 	return e.finish()
 }
@@ -538,6 +565,12 @@ func (e *Engine) applyNaive(en *pendingEntry, ps *parallelState) {
 	case e.stealJob(ps, j):
 		bound, exact = e.refine(en.v, en.d, 0)
 	default:
+		waitJob(j)
+		if j.out.stopped {
+			// Canceled mid-search (see applyCandidate): discard unread.
+			ps.free = append(ps.free, j)
+			return
+		}
 		bound, exact, _, _ = e.replayAndAccount(j)
 		ps.free = append(ps.free, j)
 	}

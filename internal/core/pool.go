@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -85,15 +86,46 @@ func (p *Pool) Size() int { return cap(p.engines) }
 // Index returns the shared index, or nil for an index-free pool.
 func (p *Pool) Index() ridx.Index { return p.idx }
 
+// validate rejects malformed requests at the pool boundary — before an
+// engine permit is consumed — with typed errors (errors.Is against
+// ErrInvalidArgument and its refinements), so servers can map them to
+// client-fault responses without string matching.
+func (p *Pool) validate(a Algorithm, k int) error {
+	if err := validateRequest(a, k); err != nil {
+		return err
+	}
+	if a == Indexed && p.idx == nil {
+		return fmt.Errorf("core: Indexed queries need a shared concurrency-safe index; build the pool with NewPoolWithIndex: %w", ErrIndexRequired)
+	}
+	return nil
+}
+
 // Query borrows an engine, runs the query, and returns the engine to the
 // pool. Safe for concurrent use.
 func (p *Pool) Query(a Algorithm, q int32, k int) (*Result, error) {
-	if a == Indexed && p.idx == nil {
-		return nil, fmt.Errorf("core: Indexed queries need a shared concurrency-safe index; build the pool with NewPoolWithIndex")
+	return p.QueryContext(context.Background(), a, q, k)
+}
+
+// QueryContext is Query with cancellation: waiting for a free engine and
+// the query itself both respect ctx. A request that is invalid (unknown
+// algorithm, k < 1, Indexed on an index-free pool) is rejected with a
+// typed error before it can occupy an engine.
+func (p *Pool) QueryContext(ctx context.Context, a Algorithm, q int32, k int) (*Result, error) {
+	if err := p.validate(a, k); err != nil {
+		return nil, err
 	}
-	e := <-p.engines
+	var e *Engine
+	select {
+	case e = <-p.engines:
+	default:
+		select {
+		case e = <-p.engines:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("core: waiting for a pool engine: %w", ctx.Err())
+		}
+	}
 	defer func() { p.engines <- e }()
-	return e.Query(a, q, k)
+	return e.QueryContext(ctx, a, q, k)
 }
 
 // QueryMany evaluates one query per element of queries concurrently and
@@ -102,6 +134,17 @@ func (p *Pool) Query(a Algorithm, q int32, k int) (*Result, error) {
 // batch costs pool-size goroutines, not a million. The first error (if
 // any) is returned; remaining queries still run to completion.
 func (p *Pool) QueryMany(a Algorithm, queries []int32, k int) ([]*Result, error) {
+	return p.QueryManyContext(context.Background(), a, queries, k)
+}
+
+// QueryManyContext is QueryMany with cancellation. The batch is validated
+// once up front (typed errors, nothing runs on a malformed request); after
+// cancellation, queries not yet started are skipped and the context error
+// is returned.
+func (p *Pool) QueryManyContext(ctx context.Context, a Algorithm, queries []int32, k int) ([]*Result, error) {
+	if err := p.validate(a, k); err != nil {
+		return nil, err
+	}
 	results := make([]*Result, len(queries))
 	workers := p.Size()
 	if workers > len(queries) {
@@ -120,13 +163,16 @@ func (p *Pool) QueryMany(a Algorithm, queries []int32, k int) ([]*Result, error)
 				if i >= len(queries) {
 					return
 				}
-				res, err := p.Query(a, queries[i], k)
+				res, err := p.QueryContext(ctx, a, queries[i], k)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
 					}
 					mu.Unlock()
+					if ctx.Err() != nil {
+						return // canceled: stop pulling new queries
+					}
 					continue
 				}
 				results[i] = res

@@ -27,6 +27,10 @@ type refiner struct {
 	q       int32
 	counted []bool
 	noCut   bool
+	// stop is the engine-level cancellation flag (QueryContext), nil when
+	// the query cannot be canceled. Distinct from the per-job cancel flag:
+	// stop abandons the whole query, cancel discards one speculative run.
+	stop *atomic.Bool
 }
 
 func newRefiner(g *graph.Graph) *refiner {
@@ -36,10 +40,11 @@ func newRefiner(g *graph.Graph) *refiner {
 // prepare binds the refiner to one query's parameters. In parallel mode
 // this happens before the worker goroutines start, so the fields are
 // plain (non-atomic) reads afterwards.
-func (r *refiner) prepare(q int32, counted []bool, noCut bool) {
+func (r *refiner) prepare(q int32, counted []bool, noCut bool, stop *atomic.Bool) {
 	r.q = q
 	r.counted = counted
 	r.noCut = noCut
+	r.stop = stop
 }
 
 // refineResult describes one rank-refinement run. A run stopped by its
@@ -50,6 +55,7 @@ type refineResult struct {
 	stopLevel float64 // distance level the search stopped at (+Inf: exhausted)
 	settled   int64   // nodes settled by this search
 	aborted   bool    // hit the kRank early-exit
+	stopped   bool    // query-level cancellation fired; log is truncated
 }
 
 // run computes Rank(p, q) by partial Dijkstra from p (Algorithm 2 / 4).
@@ -91,6 +97,13 @@ func (r *refiner) run(p int32, dpq float64, kRank int32, live *atomic.Int32, can
 			return out, log
 		}
 		out.settled++
+		if r.stop != nil && out.settled&63 == 0 && r.stop.Load() {
+			// Engine-level cancellation (QueryContext): the query is being
+			// abandoned, so stop the search where it stands. The truncated
+			// log is marked and never replayed or applied.
+			out.stopped = true
+			return out, log
+		}
 		if v == p {
 			continue
 		}

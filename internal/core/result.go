@@ -19,41 +19,46 @@ import (
 // RefineSettled can exceed the serial count (a worker running against a
 // stale prune bound settles further before aborting), and the
 // Speculative* counters become nonzero. Results never differ.
+// The json tags define the wire schema internal/server exposes in query
+// responses and /statsz aggregates; like the stats.Table tags they are a
+// frozen format — add fields if needed, never rename these keys.
 type Stats struct {
 	// Refinements counts GetRank invocations (partial Dijkstra searches).
-	Refinements int
+	Refinements int `json:"refinements"`
 	// RefineSettled counts nodes settled across all rank refinements.
-	RefineSettled int64
+	RefineSettled int64 `json:"refine_settled"`
 	// RefineAborted counts refinements that hit the kRank early-exit.
-	RefineAborted int
+	RefineAborted int `json:"refine_aborted"`
 	// TreeSettled counts nodes dequeued from the SDS-tree traversal.
-	TreeSettled int
+	TreeSettled int `json:"tree_settled"`
 	// PrunedByBound counts candidates skipped because their Theorem-2
 	// lower bound (possibly including the Check Dictionary) reached kRank.
-	PrunedByBound int
+	PrunedByBound int `json:"pruned_by_bound"`
 	// IndexHits counts candidates whose exact rank came from the Reverse
 	// Rank Dictionary, avoiding a refinement.
-	IndexHits int
+	IndexHits int `json:"index_hits"`
 	// SeededFromIndex counts result entries seeded from the Reverse Rank
 	// Dictionary before traversal started.
-	SeededFromIndex int
+	SeededFromIndex int `json:"seeded_from_index"`
 	// HeightWins / CountWins / ParentWins attribute, for every candidate
 	// whose lower bound was evaluated, which Theorem-2 component was the
 	// maximum (ties attributed in the order height, count, parent).
-	HeightWins, CountWins, ParentWins int64
+	HeightWins int64 `json:"height_wins"`
+	CountWins  int64 `json:"count_wins"`
+	ParentWins int64 `json:"parent_wins"`
 	// SpeculativeRefinements counts refinements launched onto worker
 	// goroutines by the intra-query parallel pipeline
 	// (Options.RefineWorkers > 0); always 0 for serial queries.
-	SpeculativeRefinements int
+	SpeculativeRefinements int `json:"speculative_refinements"`
 	// SpeculativeWasted counts the subset of speculative refinements whose
 	// results were discarded because, by the time serial order reached the
 	// candidate, the Theorem-2 bound pruned it or an index hit answered it.
-	SpeculativeWasted int
+	SpeculativeWasted int `json:"speculative_wasted"`
 	// SpeculativeStolen counts launched refinements no worker had started
 	// by the time serial order needed (or discarded) them; the coordinator
 	// reclaimed them, so any needed ranks were computed inline. High values
 	// mean the workers are starved — fewer RefineWorkers would do.
-	SpeculativeStolen int
+	SpeculativeStolen int `json:"speculative_stolen"`
 }
 
 // Add accumulates other into s (used when averaging over query batches).

@@ -84,8 +84,8 @@ func Small() Config {
 		Queries: 12, NaiveQueries: 4,
 		Ks: []int{5, 10, 20}, KMax: 20,
 		HubFrac: 0.1, IndexFrac: 0.1,
-		HFracs:   []float64{0.03, 0.1, 0.15},
-		MFracs:   []float64{0.03, 0.1, 0.15},
+		HFracs:        []float64{0.03, 0.1, 0.15},
+		MFracs:        []float64{0.03, 0.1, 0.15},
 		Strategy:      hub.DegreeFirst,
 		Workers:       4,
 		RefineWorkers: 4,

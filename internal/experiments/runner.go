@@ -145,9 +145,11 @@ func runBatch(e *core.Engine, algo core.Algorithm, queries []int32, k int) (batc
 	return b, nil
 }
 
-// Experiment names, in paper order; "serving" and "latency" extend the
-// paper's evaluation with the pooled-concurrency throughput study and the
-// intra-query parallel refinement latency study.
+// Experiment names, in paper order; "serving", "latency", and
+// "serving_http" extend the paper's evaluation with the pooled-concurrency
+// throughput study, the intra-query parallel refinement latency study, and
+// the HTTP serving-stack load sweep (offered load vs p99 through
+// internal/server).
 var names = []string{
 	"table3", "table4", "figure5",
 	"figure6", "naive",
@@ -157,6 +159,7 @@ var names = []string{
 	"figure7",
 	"serving",
 	"latency",
+	"serving_http",
 }
 
 // Names lists all experiment identifiers in paper order.
@@ -216,6 +219,9 @@ func (r *Runner) Run(name string) ([]*stats.Table, error) {
 		return wrap(t), err
 	case "latency":
 		t, err := r.Latency()
+		return wrap(t), err
+	case "serving_http":
+		t, err := r.ServingHTTP()
 		return wrap(t), err
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, names)

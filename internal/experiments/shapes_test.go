@@ -252,3 +252,38 @@ func TestLatencyShape(t *testing.T) {
 		t.Errorf("expected >= 3 sweep points per dataset, got %v", seen)
 	}
 }
+
+// TestServingHTTPShape: the HTTP load sweep produces one row per offered
+// point with ascending offered load, successful requests at every point,
+// and coherent percentiles. No throughput ordering is asserted — achieved
+// qps depends on the host — only well-formedness of the sweep.
+func TestServingHTTPShape(t *testing.T) {
+	cfg := Small()
+	cfg.Queries = 6
+	cfg.Workers = 2
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := r.ServingHTTP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("want 3 offered-load rows, got %d", len(tab.Rows))
+	}
+	prevOffered := -1.0
+	for _, row := range tab.Rows {
+		offered := cellFloat(t, row[1])
+		if offered <= prevOffered {
+			t.Errorf("offered load not ascending: %v", tab.Rows)
+		}
+		prevOffered = offered
+		if ok := cellFloat(t, row[3]); ok <= 0 {
+			t.Errorf("row %v: no successful requests", row)
+		}
+		if p50, p99 := cellFloat(t, row[6]), cellFloat(t, row[7]); p99+1e-9 < p50 {
+			t.Errorf("row %v: p99 %.2f below p50 %.2f", row, p99, p50)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRunLoadAgainstServer: the open-loop generator against a live test
+// server produces coherent aggregates.
+func TestRunLoadAgainstServer(t *testing.T) {
+	_, ts, g := newTestServer(t, Config{}, false)
+	queries := make([]int32, 64)
+	for i := range queries {
+		queries[i] = int32(i % g.N())
+	}
+	res, err := RunLoad(context.Background(), LoadConfig{
+		URL:      ts.URL,
+		Queries:  queries,
+		K:        5,
+		Rate:     200,
+		Duration: 300 * time.Millisecond,
+		Timeout:  2 * time.Second,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.OK == 0 {
+		t.Fatalf("no traffic flowed: %+v", res)
+	}
+	if res.OK+res.Rejected+res.Deadline+res.Errors != res.Sent {
+		t.Errorf("outcome counts do not add up: %+v", res)
+	}
+	if res.Achieved <= 0 || res.P99+1e-9 < res.P50 {
+		t.Errorf("aggregates malformed: %+v", res)
+	}
+}
+
+// TestRunLoadSheds: a tiny outstanding cap on an overloaded server sheds
+// client-side instead of ballooning goroutines.
+func TestRunLoadSheds(t *testing.T) {
+	_, ts, _ := newTestServerOn(t, Config{MaxInFlight: 1, MaxQueue: 1}, false, slowGraph())
+	res, err := RunLoad(context.Background(), LoadConfig{
+		URL:            ts.URL,
+		Algorithm:      "naive",
+		Queries:        []int32{0, 1, 2},
+		K:              400,
+		Rate:           500,
+		Duration:       300 * time.Millisecond,
+		Timeout:        2 * time.Second,
+		MaxOutstanding: 2,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 {
+		t.Errorf("expected client-side shedding with MaxOutstanding=2: %+v", res)
+	}
+}
+
+// TestRunLoadContextCancel: canceling the run context stops arrivals
+// early and still returns the partial aggregate.
+func TestRunLoadContextCancel(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{}, false)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := RunLoad(ctx, LoadConfig{
+		URL:      ts.URL,
+		Queries:  []int32{0, 1},
+		K:        5,
+		Rate:     50,
+		Duration: 30 * time.Second,
+		Seed:     7,
+	})
+	if err == nil {
+		t.Fatal("expected ctx error")
+	}
+	if res == nil {
+		t.Fatal("partial result missing")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancel did not stop arrivals: ran %v", elapsed)
+	}
+}

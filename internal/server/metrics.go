@@ -1,0 +1,170 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"rkranks/internal/core"
+	"rkranks/internal/stats"
+)
+
+// latWindow is how many recent request latencies back the /statsz
+// percentiles: large enough for stable p99 under load, small enough that
+// the window tracks current behavior rather than all of history.
+const latWindow = 2048
+
+// qpsBuckets is the per-second request-count ring backing the QPS rates.
+const qpsBuckets = 64
+
+// metrics aggregates serving telemetry. A single mutex guards everything:
+// per-request work is a few stores, contention is negligible next to a
+// rank query, and a coherent snapshot comes for free.
+type metrics struct {
+	mu sync.Mutex
+
+	requests int64
+	byClass  [6]int64 // status/100 histogram: [0] collects non-standard (499)
+	shedded  int64
+
+	lat    [latWindow]float64 // seconds, ring
+	latN   int                // valid prefix length
+	latIdx int
+
+	secCount [qpsBuckets]int64 // requests landing in second secStamp[i]
+	secStamp [qpsBuckets]int64
+
+	query core.Stats // engine counters summed over successful requests
+	okays int64      // requests contributing to query
+}
+
+func newMetrics() *metrics { return &metrics{} }
+
+// observe records one finished request. st is nil for requests that never
+// reached the pool (rejections, shed load).
+func (m *metrics) observe(status int, elapsed time.Duration, st *core.Stats) {
+	now := time.Now().Unix()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests++
+	class := status / 100
+	if class < 1 || class >= len(m.byClass) {
+		class = 0
+	}
+	m.byClass[class]++
+	i := now % qpsBuckets
+	if m.secStamp[i] != now {
+		m.secStamp[i] = now
+		m.secCount[i] = 0
+	}
+	m.secCount[i]++
+	if st != nil {
+		// Only requests that reached the pool enter the latency window:
+		// mixing in microsecond-fast sheds and rejects would drag the
+		// reported percentiles toward zero exactly when the server is
+		// overloaded — the moment an operator needs them most.
+		m.lat[m.latIdx] = elapsed.Seconds()
+		m.latIdx = (m.latIdx + 1) % latWindow
+		if m.latN < latWindow {
+			m.latN++
+		}
+		m.query.Add(*st)
+		m.okays++
+	}
+}
+
+// shed records an overload rejection (429).
+func (m *metrics) shed() {
+	m.mu.Lock()
+	m.shedded++
+	m.mu.Unlock()
+}
+
+// Snapshot is the /statsz document. Field names are part of the wire
+// protocol: add, never rename.
+type Snapshot struct {
+	UptimeSec float64 `json:"uptime_sec"`
+
+	RequestsTotal int64            `json:"requests_total"`
+	StatusClasses map[string]int64 `json:"status_classes"`
+	SheddedTotal  int64            `json:"shedded_total"`
+
+	QPS10s float64 `json:"qps_10s"`
+	QPS60s float64 `json:"qps_60s"`
+
+	Latency LatencySnapshot `json:"latency_ms"`
+
+	PoolSize int  `json:"pool_size"`
+	InFlight int  `json:"in_flight"`
+	Queued   int  `json:"queued"`
+	Draining bool `json:"draining"`
+
+	// QueryStats sums the engine work counters (refinements, index hits,
+	// seeded entries, ...) over every request that reached the pool —
+	// the serving-level view of how much the shared index is paying off.
+	QueryStats   core.Stats `json:"query_stats"`
+	QueriesOK    int64      `json:"queries_ok"`
+	IndexHitRate float64    `json:"index_hit_rate"`
+}
+
+// LatencySnapshot reports percentiles over the recent-latency window, in
+// milliseconds.
+type LatencySnapshot struct {
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+	Mean   float64 `json:"mean"`
+	Window int     `json:"window"`
+}
+
+func (m *metrics) snapshot() Snapshot {
+	now := time.Now().Unix()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	snap := Snapshot{
+		RequestsTotal: m.requests,
+		SheddedTotal:  m.shedded,
+		StatusClasses: map[string]int64{},
+		QueryStats:    m.query,
+		QueriesOK:     m.okays,
+	}
+	classes := [6]string{"other", "1xx", "2xx", "3xx", "4xx", "5xx"}
+	for i, n := range m.byClass {
+		if n > 0 {
+			snap.StatusClasses[classes[i]] = n
+		}
+	}
+	// QPS over trailing windows; the current (partial) second is excluded
+	// so a snapshot early in a second does not read as a dip.
+	var c10, c60 int64
+	for i := int64(0); i < qpsBuckets; i++ {
+		age := now - m.secStamp[i]
+		if age < 1 || m.secStamp[i] == 0 {
+			continue
+		}
+		if age <= 10 {
+			c10 += m.secCount[i]
+		}
+		if age <= 60 {
+			c60 += m.secCount[i]
+		}
+	}
+	snap.QPS10s = float64(c10) / 10
+	snap.QPS60s = float64(c60) / 60
+
+	if m.latN > 0 {
+		window := make([]float64, m.latN)
+		copy(window, m.lat[:m.latN])
+		snap.Latency = LatencySnapshot{
+			P50:    1000 * stats.Percentile(window, 50),
+			P90:    1000 * stats.Percentile(window, 90),
+			P99:    1000 * stats.Percentile(window, 99),
+			Mean:   1000 * stats.Mean(window),
+			Window: m.latN,
+		}
+	}
+	if denom := m.query.IndexHits + m.query.Refinements; denom > 0 {
+		snap.IndexHitRate = float64(m.query.IndexHits) / float64(denom)
+	}
+	return snap
+}

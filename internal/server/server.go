@@ -1,0 +1,530 @@
+// Package server is the HTTP/JSON serving layer over core.Pool: the
+// network surface the ROADMAP's "heavy traffic" north star needs. It wraps
+// a pool (built with NewPoolWithIndex, all traffic feeds one shared
+// concurrent index) with the machinery a real service requires and the
+// engine layer does not provide:
+//
+//   - admission control: a bounded in-flight limit plus a bounded wait
+//     queue; beyond both, requests are shed immediately with 429 and a
+//     Retry-After hint, so overload degrades throughput, never latency of
+//     admitted work;
+//   - per-request deadlines threaded as context into the engine layer,
+//     which cancels the SDS-tree traversal and every in-flight rank
+//     refinement within a bounded number of settles;
+//   - observability: /healthz, /statsz (QPS, p50/p99 latency, pool
+//     occupancy, aggregated engine counters), and structured JSON access
+//     logs;
+//   - graceful drain: Drain stops admission (503) while every admitted
+//     request runs to completion, so a SIGTERM never drops an in-flight
+//     response.
+//
+// Endpoints:
+//
+//	POST /v1/query  {"algorithm":"indexed","q":12,"k":10,"timeout_ms":500}
+//	POST /v1/batch  {"algorithm":"dynamic","queries":[1,2,3],"k":10}
+//	GET  /healthz
+//	GET  /statsz
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"rkranks/internal/core"
+	"rkranks/internal/graph"
+)
+
+// Config configures a Server. Pool is required; everything else defaults
+// to production-sane values.
+type Config struct {
+	// Pool serves the queries. Build it with core.NewPoolWithIndex to make
+	// Indexed the default algorithm over one shared concurrent index.
+	Pool *core.Pool
+	// Graph is the pool's graph, used for /healthz metadata and request
+	// validation context. Required.
+	Graph *graph.Graph
+
+	// DefaultAlgorithm answers requests that omit "algorithm"
+	// (naive|static|dynamic|indexed). Empty defaults to indexed when the
+	// pool has an index, dynamic otherwise.
+	DefaultAlgorithm string
+
+	// MaxInFlight bounds requests being actively served (each occupies at
+	// most one pool engine; batches also count as one). <= 0 defaults to
+	// 2x the pool size: enough to keep every engine busy while the next
+	// wave decodes.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an in-flight slot; beyond it
+	// requests are rejected with 429 + Retry-After. <= 0 defaults to
+	// 4x MaxInFlight.
+	MaxQueue int
+
+	// DefaultTimeout applies when a request carries no timeout_ms.
+	// <= 0 defaults to 10s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts. <= 0 defaults to 60s.
+	MaxTimeout time.Duration
+
+	// MaxBatch bounds queries per /v1/batch request. <= 0 defaults to 1024.
+	MaxBatch int
+
+	// AccessLog receives one structured record per request. Nil disables
+	// access logging (metrics still aggregate).
+	AccessLog *slog.Logger
+}
+
+// Server is the HTTP serving layer. Create with New, expose via Handler,
+// stop with Drain.
+type Server struct {
+	cfg         Config
+	defaultAlgo core.Algorithm
+	mux         *http.ServeMux
+	started     time.Time
+
+	inflightSem chan struct{} // admission: active slots
+	queueSem    chan struct{} // admission: waiting slots
+
+	// drainMu makes the {check draining, inflight.Add(1)} pair in admit
+	// atomic against Drain's flag flip: once Drain holds the write lock
+	// and sets draining, every request is either already counted in
+	// inflight (Drain waits for it) or will observe draining and be
+	// refused — no request can slip between the flag and the WaitGroup.
+	drainMu  sync.RWMutex
+	draining bool
+	inflight sync.WaitGroup // every admitted request, for Drain
+
+	metrics *metrics
+}
+
+// New validates cfg, applies defaults, and returns a ready Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Pool == nil {
+		return nil, fmt.Errorf("server: Config.Pool is required")
+	}
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("server: Config.Graph is required")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 2 * cfg.Pool.Size()
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.MaxInFlight
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 10 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 60 * time.Second
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1024
+	}
+	defaultAlgo := core.Dynamic
+	if cfg.Pool.Index() != nil {
+		defaultAlgo = core.Indexed
+	}
+	if cfg.DefaultAlgorithm != "" {
+		var err error
+		if defaultAlgo, err = core.ParseAlgorithm(cfg.DefaultAlgorithm); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
+	s := &Server{
+		cfg:         cfg,
+		defaultAlgo: defaultAlgo,
+		mux:         http.NewServeMux(),
+		started:     time.Now(),
+		inflightSem: make(chan struct{}, cfg.MaxInFlight),
+		queueSem:    make(chan struct{}, cfg.MaxQueue),
+		metrics:     newMetrics(),
+	}
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	return s.draining
+}
+
+// Drain stops admitting queries (they get 503, /healthz turns 503 so load
+// balancers stop routing here) and waits until every admitted request has
+// been answered. It returns ctx's error if the drain deadline passes
+// first; in-flight requests still run to completion in the background
+// either way. Safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted with requests in flight: %w", ctx.Err())
+	}
+}
+
+// --- wire types ---------------------------------------------------------
+
+type queryRequest struct {
+	// Algorithm is naive|static|dynamic|indexed; empty uses the server
+	// default.
+	Algorithm string `json:"algorithm,omitempty"`
+	Q         int32  `json:"q"`
+	K         int    `json:"k"`
+	// TimeoutMS is the per-request deadline in milliseconds; 0 uses the
+	// server default, values above the server cap are clamped.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+type batchRequest struct {
+	Algorithm string  `json:"algorithm,omitempty"`
+	Queries   []int32 `json:"queries"`
+	K         int     `json:"k"`
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+}
+
+type entryJSON struct {
+	Node int32 `json:"node"`
+	Rank int32 `json:"rank"`
+}
+
+type queryResponse struct {
+	Query     int32       `json:"query"`
+	K         int         `json:"k"`
+	Algorithm string      `json:"algorithm"`
+	Entries   []entryJSON `json:"entries"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+	Stats     *core.Stats `json:"stats,omitempty"`
+}
+
+type batchResponse struct {
+	Algorithm string          `json:"algorithm"`
+	K         int             `json:"k"`
+	Results   []queryResponse `json:"results"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// Error codes of the wire protocol, stable for clients to branch on.
+const (
+	codeInvalidArgument  = "invalid_argument"
+	codeOverloaded       = "overloaded"
+	codeDraining         = "draining"
+	codeDeadlineExceeded = "deadline_exceeded"
+	codeCanceled         = "canceled"
+	codeInternal         = "internal"
+)
+
+// --- admission ----------------------------------------------------------
+
+// admit applies the two-stage admission policy. On success it returns a
+// release func; otherwise an HTTP status plus error code to shed with.
+// The queue stage respects the request context, so a client that gives up
+// while queued frees its slot immediately.
+func (s *Server) admit(ctx context.Context) (release func(), status int, code string) {
+	if s.Draining() {
+		return nil, http.StatusServiceUnavailable, codeDraining
+	}
+	select {
+	case s.inflightSem <- struct{}{}:
+	default:
+		// All active slots busy: try to wait, bounded by the queue.
+		select {
+		case s.queueSem <- struct{}{}:
+		default:
+			return nil, http.StatusTooManyRequests, codeOverloaded
+		}
+		select {
+		case s.inflightSem <- struct{}{}:
+			<-s.queueSem
+		case <-ctx.Done():
+			<-s.queueSem
+			return nil, statusForContext(ctx.Err()), codeForContext(ctx.Err())
+		}
+	}
+	// Re-check under the drain lock: a drain that raced the acquire must
+	// win, and the {check, Add} pair must be atomic against the flag flip
+	// (see drainMu) so Drain never returns with this request uncounted.
+	s.drainMu.RLock()
+	if s.draining {
+		s.drainMu.RUnlock()
+		<-s.inflightSem
+		return nil, http.StatusServiceUnavailable, codeDraining
+	}
+	s.inflight.Add(1)
+	s.drainMu.RUnlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			<-s.inflightSem
+			s.inflight.Done()
+		})
+	}, 0, ""
+}
+
+func statusForContext(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return 499 // client closed request (nginx convention)
+}
+
+func codeForContext(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return codeDeadlineExceeded
+	}
+	return codeCanceled
+}
+
+// --- handlers -----------------------------------------------------------
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req queryRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.reject(w, r, start, http.StatusBadRequest, codeInvalidArgument, err.Error())
+		return
+	}
+	algo, err := s.resolveAlgorithm(req.Algorithm)
+	if err != nil {
+		s.reject(w, r, start, http.StatusBadRequest, codeInvalidArgument, err.Error())
+		return
+	}
+	release, status, code := s.admit(r.Context())
+	if release == nil {
+		s.shed(w, r, start, status, code)
+		return
+	}
+	defer release()
+
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	res, err := s.cfg.Pool.QueryContext(ctx, algo, req.Q, req.K)
+	if err != nil {
+		s.queryError(w, r, start, err)
+		return
+	}
+	resp := toQueryResponse(res, algo, time.Since(start))
+	s.respond(w, r, start, http.StatusOK, resp, res.Stats)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req batchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.reject(w, r, start, http.StatusBadRequest, codeInvalidArgument, err.Error())
+		return
+	}
+	algo, err := s.resolveAlgorithm(req.Algorithm)
+	if err != nil {
+		s.reject(w, r, start, http.StatusBadRequest, codeInvalidArgument, err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.reject(w, r, start, http.StatusBadRequest, codeInvalidArgument, "batch has no queries")
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		s.reject(w, r, start, http.StatusBadRequest, codeInvalidArgument,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Queries), s.cfg.MaxBatch))
+		return
+	}
+	// A batch occupies ONE admission slot; its internal fan-out is bounded
+	// by the pool size (QueryMany workers), not by admission.
+	release, status, code := s.admit(r.Context())
+	if release == nil {
+		s.shed(w, r, start, status, code)
+		return
+	}
+	defer release()
+
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	results, err := s.cfg.Pool.QueryManyContext(ctx, algo, req.Queries, req.K)
+	if err != nil {
+		s.queryError(w, r, start, err)
+		return
+	}
+	elapsed := time.Since(start)
+	resp := batchResponse{
+		Algorithm: algo.String(),
+		K:         req.K,
+		Results:   make([]queryResponse, len(results)),
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+	}
+	var agg core.Stats
+	for i, res := range results {
+		resp.Results[i] = toQueryResponse(res, algo, 0)
+		agg.Add(res.Stats)
+	}
+	s.respond(w, r, start, http.StatusOK, resp, agg)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	state := "ok"
+	if s.Draining() {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":      state,
+		"uptime_sec":  time.Since(s.started).Seconds(),
+		"graph_nodes": s.cfg.Graph.N(),
+		"graph_edges": s.cfg.Graph.M(),
+		"pool_size":   s.cfg.Pool.Size(),
+		"indexed":     s.cfg.Pool.Index() != nil,
+		"algorithm":   s.defaultAlgo.String(),
+	})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.snapshot()
+	snap.UptimeSec = time.Since(s.started).Seconds()
+	snap.PoolSize = s.cfg.Pool.Size()
+	snap.InFlight = len(s.inflightSem)
+	snap.Queued = len(s.queueSem)
+	snap.Draining = s.Draining()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// --- helpers ------------------------------------------------------------
+
+// maxBodyBytes bounds request bodies; batches of MaxBatch int32 queries
+// fit comfortably.
+const maxBodyBytes = 1 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) resolveAlgorithm(name string) (core.Algorithm, error) {
+	if name == "" {
+		return s.defaultAlgo, nil
+	}
+	return core.ParseAlgorithm(name)
+}
+
+// requestContext derives the engine-layer context: the client deadline
+// (clamped to MaxTimeout, defaulted to DefaultTimeout) on top of the
+// request context, so both client disconnect and deadline cancel the
+// query.
+func (s *Server) requestContext(parent context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	return context.WithTimeout(parent, timeout)
+}
+
+func toQueryResponse(res *core.Result, algo core.Algorithm, elapsed time.Duration) queryResponse {
+	entries := make([]entryJSON, len(res.Entries))
+	for i, e := range res.Entries {
+		entries[i] = entryJSON{Node: e.Node, Rank: e.Rank}
+	}
+	stats := res.Stats
+	resp := queryResponse{
+		Query:     res.Query,
+		K:         res.K,
+		Algorithm: algo.String(),
+		Entries:   entries,
+		Stats:     &stats,
+	}
+	if elapsed > 0 {
+		resp.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+	}
+	return resp
+}
+
+// queryError maps an engine/pool error to the wire protocol.
+func (s *Server) queryError(w http.ResponseWriter, r *http.Request, start time.Time, err error) {
+	switch {
+	case errors.Is(err, core.ErrInvalidArgument):
+		s.reject(w, r, start, http.StatusBadRequest, codeInvalidArgument, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		s.reject(w, r, start, http.StatusGatewayTimeout, codeDeadlineExceeded, err.Error())
+	case errors.Is(err, context.Canceled):
+		s.reject(w, r, start, 499, codeCanceled, err.Error())
+	default:
+		s.reject(w, r, start, http.StatusInternalServerError, codeInternal, err.Error())
+	}
+}
+
+// shed records and answers an admission rejection. 429 carries a
+// Retry-After hint scaled to the default timeout: by then the current
+// queue has almost certainly cleared.
+func (s *Server) shed(w http.ResponseWriter, r *http.Request, start time.Time, status int, code string) {
+	if status == http.StatusTooManyRequests {
+		retry := int(s.cfg.DefaultTimeout / time.Second)
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		s.metrics.shed()
+	}
+	s.reject(w, r, start, status, code, http.StatusText(status))
+}
+
+func (s *Server) reject(w http.ResponseWriter, r *http.Request, start time.Time, status int, code, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg, Code: code})
+	s.observe(r, start, status, nil)
+}
+
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, start time.Time, status int, body any, st core.Stats) {
+	writeJSON(w, status, body)
+	s.observe(r, start, status, &st)
+}
+
+func (s *Server) observe(r *http.Request, start time.Time, status int, st *core.Stats) {
+	elapsed := time.Since(start)
+	s.metrics.observe(status, elapsed, st)
+	if s.cfg.AccessLog != nil {
+		s.cfg.AccessLog.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Float64("elapsed_ms", float64(elapsed.Microseconds())/1000),
+			slog.String("remote", r.RemoteAddr),
+		)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}

@@ -65,6 +65,16 @@
 // difference. Default-sized pools budget GOMAXPROCS across engines and
 // their refine workers; see the README's "Intra-query parallelism" for
 // when to prefer which knob.
+//
+// Every query entry point has a context-aware variant
+// (Engine.QueryContext, Pool.QueryContext, Pool.QueryManyContext):
+// cancellation or deadline expiry stops the traversal and every in-flight
+// rank refinement within a bounded number of settles, discarding — never
+// applying — partial work, so engines and shared indexes stay consistent.
+// Malformed requests fail fast with typed errors (ErrInvalidArgument and
+// its refinements). cmd/rkserve serves all of this over HTTP with
+// admission control and graceful drain; see the README's "Serving over
+// HTTP".
 package rkranks
 
 import (
@@ -148,6 +158,21 @@ const (
 
 // RankUnreachable is the rank reported when no path exists.
 const RankUnreachable = rank.Unreachable
+
+// Typed request-validation errors, surfaced by Engine and Pool query
+// entry points (including QueryContext/QueryManyContext) and designed for
+// errors.Is dispatch at serving boundaries: every one of them wraps
+// ErrInvalidArgument, so a server can map the whole family to a 400-class
+// response and still branch on the specific cause. Cancellation and
+// deadline expiry surface as the standard context errors
+// (context.Canceled, context.DeadlineExceeded).
+var (
+	ErrInvalidArgument  = core.ErrInvalidArgument
+	ErrUnknownAlgorithm = core.ErrUnknownAlgorithm
+	ErrInvalidK         = core.ErrInvalidK
+	ErrInvalidQueryNode = core.ErrInvalidQueryNode
+	ErrIndexRequired    = core.ErrIndexRequired
+)
 
 // NewBuilder returns a graph builder; directed selects edge orientation.
 func NewBuilder(directed bool) *Builder { return graph.NewBuilder(directed) }

@@ -233,6 +233,16 @@ func columnKind(header string) metricKind {
 	case strings.Contains(h, "refine"), strings.Contains(h, "settled"),
 		strings.Contains(h, "pruned"), strings.Contains(h, "visited"):
 		return metricKind{floor: minCounter, tracked: true}
+	// Cluster scatter-gather counters (serving_cluster): deterministic
+	// shard-work metrics. Entries moved and escalation rounds regress
+	// when they RISE; shards short-circuited by their rank floor and the
+	// transfer saving regress when they FALL.
+	case strings.Contains(h, "entries"), strings.Contains(h, "escalation"):
+		return metricKind{floor: minCounter, tracked: true}
+	case strings.Contains(h, "short-circuit"):
+		return metricKind{higherBetter: true, floor: minCounter, tracked: true}
+	case strings.Contains(h, "saved"):
+		return metricKind{higherBetter: true, floor: 1, tracked: true}
 	}
 	return metricKind{}
 }

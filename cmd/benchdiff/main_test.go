@@ -189,3 +189,69 @@ func TestExperimentsFlagSelects(t *testing.T) {
 		t.Errorf("unselected experiment compared:\n%s", out)
 	}
 }
+
+func clusterReport() report {
+	return report{
+		Experiment: "serving_cluster",
+		Scale:      "small",
+		ElapsedSec: 2,
+		Tables: []table{{
+			Title: "cluster",
+			Headers: []string{"dataset", "partitioner", "shards", "mean (ms)",
+				"transferred (entries)", "naive gather (entries)", "saved (%)",
+				"short-circuited", "escalations", "refinements"},
+			Rows: [][]string{
+				{"dblp", "degree", "4", "1.500", "800", "2000", "60%", "30", "12", "5000"},
+			},
+		}},
+	}
+}
+
+// TestClusterCounterDirections pins the direction-aware gating of the
+// serving_cluster columns: transfer growth and short-circuit loss are
+// regressions; a transfer DROP is an improvement, not a failure.
+func TestClusterCounterDirections(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeReport(t, baseDir, "serving_cluster", clusterReport())
+
+	// Transferred entries ballooning (pruning broke) must fail.
+	cur := clusterReport()
+	cur.Tables[0].Rows[0][4] = "1900" // +137%
+	writeReport(t, curDir, "serving_cluster", cur)
+	code, out := runDiff(t, baseDir, curDir, "-experiments", "serving_cluster")
+	if code != 1 || !strings.Contains(out, "transferred") {
+		t.Fatalf("transfer regression not caught (exit %d):\n%s", code, out)
+	}
+
+	// Short-circuited shards collapsing must fail (higher is better).
+	cur = clusterReport()
+	cur.Tables[0].Rows[0][7] = "11" // -63%
+	writeReport(t, curDir, "serving_cluster", cur)
+	code, out = runDiff(t, baseDir, curDir, "-experiments", "serving_cluster")
+	if code != 1 || !strings.Contains(out, "short-circuited") {
+		t.Fatalf("short-circuit regression not caught (exit %d):\n%s", code, out)
+	}
+
+	// Saved% collapsing must fail (higher is better).
+	cur = clusterReport()
+	cur.Tables[0].Rows[0][6] = "20%"
+	writeReport(t, curDir, "serving_cluster", cur)
+	code, out = runDiff(t, baseDir, curDir, "-experiments", "serving_cluster")
+	if code != 1 || !strings.Contains(out, "saved") {
+		t.Fatalf("saved%% regression not caught (exit %d):\n%s", code, out)
+	}
+
+	// Transfer dropping further is an improvement, and latency noise is
+	// gated by the lax wall-clock threshold: both pass.
+	cur = clusterReport()
+	cur.Tables[0].Rows[0][4] = "500"
+	cur.Tables[0].Rows[0][3] = "2.200" // +47% wall clock, inside 100%
+	writeReport(t, curDir, "serving_cluster", cur)
+	code, out = runDiff(t, baseDir, curDir, "-experiments", "serving_cluster")
+	if code != 0 {
+		t.Fatalf("improvement flagged as regression:\n%s", out)
+	}
+	if !strings.Contains(out, "improved") {
+		t.Errorf("transfer improvement not reported:\n%s", out)
+	}
+}

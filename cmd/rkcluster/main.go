@@ -1,0 +1,239 @@
+// Command rkcluster serves reverse k-ranks queries from a sharded
+// cluster: a scatter-gather coordinator (internal/cluster) behind the
+// same HTTP contract as rkserve — POST /v1/query, POST /v1/batch,
+// GET /healthz, GET /statsz — so clients and load balancers cannot tell
+// one node from P.
+//
+// Two topologies:
+//
+//	rkcluster -graph g.rkg -shards 4                         # in-process: 4 masked engine pools
+//	rkcluster -graph g.rkg -backends http://s0:8080,http://s1:8080
+//	                                                         # remote: one rkserve -shard i/P per URL
+//
+// In remote mode every backend must serve the SAME graph, booted as
+// `rkserve -shard i/P -shard-partitioner <name>` with i matching its
+// position in -backends and P the backend count; rkcluster dials each
+// /healthz at startup and refuses mismatched node counts.
+//
+// Queries fan out to all shards at a reduced first-round k; shards whose
+// certified rank floor clears the merged cutoff are short-circuited and
+// only the rest are re-fetched at full k, so results are byte-identical
+// to a single node while transferring far fewer entries (see
+// internal/cluster). /statsz gains a "cluster" section with per-shard
+// occupancy, health, and the coordinator-vs-slowest-shard latency split.
+//
+// On SIGTERM/SIGINT the coordinator drains like rkserve: admission stops
+// (503), in-flight scatters complete, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rkranks/internal/cluster"
+	"rkranks/internal/core"
+	"rkranks/internal/gen"
+	"rkranks/internal/graph"
+	"rkranks/internal/hub"
+	"rkranks/internal/ridx"
+	"rkranks/internal/server"
+)
+
+func main() {
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	if err := run(os.Args[1:], logger, nil); err != nil {
+		logger.Error("fatal", slog.String("err", err.Error()))
+		os.Exit(1)
+	}
+}
+
+// run boots the cluster front and blocks until shutdown. ready, if
+// non-nil, receives the bound address once the listener is up.
+func run(args []string, logger *slog.Logger, ready chan<- string) error {
+	fs := flag.NewFlagSet("rkcluster", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		graphPath = fs.String("graph", "", "graph file (.rkg binary or text edge list)")
+		genType   = fs.String("gen", "", "serve a synthetic graph instead of -graph: dblp|epinions|road|gnm")
+		genNodes  = fs.Int("gen-nodes", 5000, "node count for -gen")
+		genSeed   = fs.Int64("gen-seed", 1, "seed for -gen")
+
+		shards      = fs.Int("shards", 2, "in-process shard count (ignored with -backends)")
+		partName    = fs.String("partitioner", "modulo", "vertex partitioner: modulo|degree")
+		backendList = fs.String("backends", "", "comma-separated rkserve shard URLs (remote mode); order must match each backend's -shard index")
+
+		buildIndex = fs.Bool("build-index", false, "build one shared concurrent index for the in-process shards")
+		hubFrac    = fs.Float64("index-h", 0.1, "hub fraction h for -build-index")
+		rankFrac   = fs.Float64("index-m", 0.1, "ranked fraction m for -build-index")
+		indexK     = fs.Int("index-k", 100, "max supported k for -build-index")
+
+		poolSize    = fs.Int("pool", 0, "engine pool size PER SHARD (0 = GOMAXPROCS-derived)")
+		refine      = fs.Int("refine-workers", 0, "intra-query refine workers per engine")
+		algo        = fs.String("algo", "", "default algorithm (empty = indexed when every shard has an index, else dynamic)")
+		strict      = fs.Bool("strict", false, "refuse queries (503) when any shard is unavailable instead of answering partially")
+		firstRoundK = fs.Int("first-round-k", 0, "first scatter round's per-shard k (0 = auto ceil(k/P)+2; >= k disables rank-floor pruning)")
+
+		inflight  = fs.Int("max-inflight", 0, "max requests served concurrently (0 = 2x bottleneck shard capacity)")
+		queue     = fs.Int("max-queue", 0, "max requests waiting for a slot (0 = 4x max-inflight)")
+		timeout   = fs.Duration("timeout", 10*time.Second, "default per-request deadline")
+		maxTO     = fs.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
+		drainTO   = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+		accessLog = fs.Bool("access-log", true, "emit structured access logs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := loadGraph(*graphPath, *genType, *genNodes, *genSeed)
+	if err != nil {
+		return err
+	}
+	logger.Info("graph loaded", slog.Int("nodes", g.N()), slog.Int64("edges", g.M()), slog.Bool("directed", g.Directed()))
+
+	cfg := cluster.Config{StrictConsistency: *strict, FirstRoundK: *firstRoundK}
+	coord, err := buildCoordinator(g, *backendList, *shards, *partName, *poolSize, *refine,
+		*buildIndex, *hubFrac, *rankFrac, *indexK, *genSeed, cfg, logger)
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	logger.Info("coordinator ready",
+		slog.Int("shards", coord.ShardCount()),
+		slog.Int("capacity", coord.Size()),
+		slog.Bool("indexed", coord.Indexed()),
+		slog.Bool("strict", *strict))
+
+	scfg := server.Config{
+		Backend:          coord,
+		Graph:            g,
+		DefaultAlgorithm: *algo,
+		MaxInFlight:      *inflight,
+		MaxQueue:         *queue,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTO,
+	}
+	if *accessLog {
+		scfg.AccessLog = logger
+	}
+	srv, err := server.New(scfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	logger.Info("serving", slog.String("addr", ln.Addr().String()))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second SIGTERM kills hard
+
+	logger.Info("draining", slog.Duration("timeout", *drainTO))
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		logger.Error("drain incomplete", slog.String("err", err.Error()))
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	logger.Info("drained, exiting")
+	return nil
+}
+
+// buildCoordinator assembles the shard backends: remote rkserve clients
+// when -backends is set, masked in-process pools otherwise.
+func buildCoordinator(g *graph.Graph, backendList string, shards int, partName string,
+	poolSize, refine int, buildIndex bool, h, m float64, k int, seed int64,
+	cfg cluster.Config, logger *slog.Logger) (*cluster.Coordinator, error) {
+	opts := core.Options{RefineWorkers: refine}
+	if backendList != "" {
+		urls := strings.Split(backendList, ",")
+		backends := make([]cluster.ShardBackend, 0, len(urls))
+		for i, url := range urls {
+			url = strings.TrimSpace(url)
+			expect := cluster.RemoteExpect{Nodes: g.N()}
+			if len(urls) > 1 {
+				// Merging assumes disjoint shard ownership: backend i
+				// must have been booted as shard i of len(urls) with the
+				// coordinator's partitioner. A single backend may serve
+				// anything (degenerate one-shard cluster).
+				expect.Shard = fmt.Sprintf("%d/%d", i, len(urls))
+				expect.Partitioner = partName
+			}
+			// Bounded dial: a backend that TCP-accepts but never answers
+			// must fail startup loudly, not hang it forever.
+			dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			rs, err := cluster.NewRemoteShard(dctx, url, expect)
+			cancel()
+			if err != nil {
+				return nil, err
+			}
+			logger.Info("shard attached", slog.String("url", url), slog.Int("capacity", rs.Size()), slog.Bool("indexed", rs.Indexed()))
+			backends = append(backends, rs)
+		}
+		return cluster.New(backends, cfg)
+	}
+
+	if shards < 1 {
+		return nil, fmt.Errorf("rkcluster: -shards must be >= 1, got %d", shards)
+	}
+	part, err := cluster.ParsePartitioner(partName)
+	if err != nil {
+		return nil, err
+	}
+	var ix ridx.Index
+	if buildIndex {
+		hn := max(1, int(float64(g.N())*h))
+		mn := max(1, int(float64(g.N())*m))
+		start := time.Now()
+		hubs := hub.Select(g, hub.DegreeFirst, hn, hub.Options{Seed: seed})
+		sh, err := ridx.BuildSharded(g, ridx.BuildParams{Hubs: hubs, M: mn, K: k}, 0)
+		if err != nil {
+			return nil, err
+		}
+		ix = sh
+		logger.Info("shared index built", slog.Int("hubs", hn), slog.Int("m", mn),
+			slog.Int("max_k", k), slog.Duration("elapsed", time.Since(start)))
+	}
+	return cluster.NewLocal(g, opts, part, shards, poolSize, ix, cfg)
+}
+
+// loadGraph resolves -graph/-gen. The -gen parameters are shared with
+// rkserve through gen.Named: cluster shards and their coordinator must
+// build bit-identical graphs.
+func loadGraph(path, genType string, nodes int, seed int64) (*graph.Graph, error) {
+	switch {
+	case path != "" && genType != "":
+		return nil, fmt.Errorf("rkcluster: -graph and -gen are mutually exclusive")
+	case path != "":
+		return graph.ReadFile(path)
+	case genType == "":
+		return nil, fmt.Errorf("rkcluster: one of -graph or -gen is required")
+	}
+	return gen.Named(genType, nodes, seed)
+}

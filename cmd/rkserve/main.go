@@ -9,6 +9,13 @@
 //	rkserve -graph dblp.rkg -build-index -index-k 100       # index, then serve Indexed
 //	rkserve -gen dblp -gen-nodes 5000 -addr :8080           # synthetic graph (demos, smoke tests)
 //	rkserve -graph g.rkg -index g.ridx                      # serve a prebuilt index
+//	rkserve -graph g.rkg -shard 0/4                         # serve vertex shard 0 of 4 (see cmd/rkcluster)
+//
+// With -shard i/P the instance answers queries for its own vertex shard
+// only (an internal/cluster partitioner mask over the candidate class);
+// a cmd/rkcluster coordinator pointed at all P instances then serves the
+// whole graph. Every shard must load the SAME graph and agree on
+// (-shard-partitioner, P).
 //
 // Endpoints: POST /v1/query, POST /v1/batch, GET /healthz, GET /statsz
 // (see internal/server). On SIGTERM/SIGINT the server drains: admission
@@ -28,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"rkranks/internal/cluster"
 	"rkranks/internal/core"
 	"rkranks/internal/gen"
 	"rkranks/internal/graph"
@@ -62,6 +70,9 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 		rankFrac   = fs.Float64("index-m", 0.1, "ranked fraction m for -build-index")
 		indexK     = fs.Int("index-k", 100, "max supported k for -build-index")
 
+		shardSpec = fs.String("shard", "", "serve one vertex shard, as i/P (e.g. 0/4); the coordinator must use the same partitioner and P")
+		shardPart = fs.String("shard-partitioner", "modulo", "partitioner for -shard: modulo|degree")
+
 		poolSize  = fs.Int("pool", 0, "engine pool size (0 = GOMAXPROCS-derived)")
 		refine    = fs.Int("refine-workers", 0, "intra-query refine workers per engine")
 		algo      = fs.String("algo", "", "default algorithm (empty = indexed when an index is loaded, else dynamic)")
@@ -83,7 +94,23 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 	logger.Info("graph loaded", slog.Int("nodes", g.N()), slog.Int64("edges", g.M()), slog.Bool("directed", g.Directed()))
 
 	var pool *core.Pool
+	var healthExtra map[string]any
 	opts := core.Options{RefineWorkers: *refine}
+	if *shardSpec != "" {
+		mask, shard, shards, err := shardMask(g, *shardSpec, *shardPart)
+		if err != nil {
+			return err
+		}
+		opts.Candidates = mask
+		// Published on /healthz so a rkcluster coordinator can verify
+		// shard ownership at startup (see cluster.NewRemoteShard).
+		healthExtra = map[string]any{
+			"shard":             fmt.Sprintf("%d/%d", shard, shards),
+			"shard_partitioner": *shardPart,
+		}
+		logger.Info("serving one vertex shard",
+			slog.Int("shard", shard), slog.Int("of", shards), slog.String("partitioner", *shardPart))
+	}
 	ix, err := loadOrBuildIndex(g, *indexPath, *buildIndex, *hubFrac, *rankFrac, *indexK, *genSeed, logger)
 	if err != nil {
 		return err
@@ -105,6 +132,7 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 		MaxQueue:         *queue,
 		DefaultTimeout:   *timeout,
 		MaxTimeout:       *maxTO,
+		HealthExtra:      healthExtra,
 	}
 	if *accessLog {
 		cfg.AccessLog = logger
@@ -153,6 +181,29 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 	return nil
 }
 
+// shardMask parses -shard's "i/P" spec into the shard's candidate mask.
+func shardMask(g *graph.Graph, spec, partName string) ([]bool, int, int, error) {
+	var shard, shards int
+	if n, err := fmt.Sscanf(spec, "%d/%d", &shard, &shards); n != 2 || err != nil {
+		return nil, 0, 0, fmt.Errorf("rkserve: -shard wants i/P (e.g. 0/4), got %q", spec)
+	}
+	if shards < 1 || shard < 0 || shard >= shards {
+		return nil, 0, 0, fmt.Errorf("rkserve: -shard %q out of range", spec)
+	}
+	part, err := cluster.ParsePartitioner(partName)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	mask, err := cluster.ShardMask(g, part, shards, shard, nil)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return mask, shard, shards, nil
+}
+
+// loadGraph resolves -graph/-gen. The -gen parameters are shared with
+// rkcluster through gen.Named: cluster shards and their coordinator must
+// build bit-identical graphs.
 func loadGraph(path, genType string, nodes int, seed int64) (*graph.Graph, error) {
 	switch {
 	case path != "" && genType != "":
@@ -162,18 +213,7 @@ func loadGraph(path, genType string, nodes int, seed int64) (*graph.Graph, error
 	case genType == "":
 		return nil, fmt.Errorf("rkserve: one of -graph or -gen is required")
 	}
-	switch genType {
-	case "dblp":
-		return gen.DBLPLike(gen.DBLPLikeParams{Nodes: nodes, AttachPerNode: 7, ExtraCollabFactor: 0.5, Seed: seed}), nil
-	case "epinions":
-		return gen.EpinionsLike(gen.EpinionsLikeParams{Nodes: nodes, OutPerNode: 3, BackEdgeProb: 0.3, Seed: seed}), nil
-	case "road":
-		g, _ := gen.RoadNetwork(gen.RoadNetworkParams{Rows: 100, Cols: 100, KeepProb: 0.25, Stores: 100, Seed: seed})
-		return g, nil
-	case "gnm":
-		return gen.GNM(nodes, 3*nodes, false, seed), nil
-	}
-	return nil, fmt.Errorf("rkserve: unknown -gen %q (want dblp|epinions|road|gnm)", genType)
+	return gen.Named(genType, nodes, seed)
 }
 
 // loadOrBuildIndex resolves the index flags to a concurrency-safe index

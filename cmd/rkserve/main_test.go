@@ -103,13 +103,62 @@ func TestServeQueryAndSigtermDrain(t *testing.T) {
 func TestFlagValidation(t *testing.T) {
 	logger := slog.New(slog.DiscardHandler)
 	cases := [][]string{
-		{},                              // no graph source
-		{"-graph", "a", "-gen", "dblp"}, // both sources
-		{"-gen", "nope"},                // unknown generator
+		{},                                // no graph source
+		{"-graph", "a", "-gen", "dblp"},   // both sources
+		{"-gen", "nope"},                  // unknown generator
+		{"-gen", "dblp", "-shard", "2"},   // malformed shard spec
+		{"-gen", "dblp", "-shard", "4/4"}, // shard index out of range
+		{"-gen", "dblp", "-shard", "0/2", "-shard-partitioner", "nope"}, // unknown partitioner
 	}
 	for _, args := range cases {
 		if err := run(args, logger, nil); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestShardFlagMasksCandidates boots rkserve as shard 1 of 2 (modulo) and
+// checks it only ever answers with its own vertices — the contract a
+// rkcluster coordinator depends on.
+func TestShardFlagMasksCandidates(t *testing.T) {
+	logger := slog.New(slog.DiscardHandler)
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-gen", "dblp", "-gen-nodes", "800",
+			"-shard", "1/2",
+			"-pool", "1", "-access-log=false",
+		}, logger, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	c := server.NewClient("http://" + addr)
+	resp, err := c.Query(context.Background(), "dynamic", 4, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Entries) == 0 {
+		t.Fatal("shard answered nothing")
+	}
+	for _, e := range resp.Entries {
+		if e.Node%2 != 1 {
+			t.Errorf("entry %+v is not owned by shard 1 of 2 (modulo)", e)
+		}
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("server never exited after SIGTERM")
 	}
 }

@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"rkranks/internal/core"
+	"rkranks/internal/graph"
+	"rkranks/internal/rank"
+	"rkranks/internal/ridx"
+	"rkranks/internal/server"
+)
+
+// A ShardBackend answers reverse k-ranks queries for one vertex shard: the
+// canonical top-k among the shard's candidates, with ranks counted over
+// the whole graph. Implementations must be safe for concurrent use — the
+// coordinator scatters to every shard in parallel and may overlap queries.
+type ShardBackend interface {
+	// Query returns the shard-local canonical top-k. A result shorter
+	// than k means the shard's candidate class is exhausted (the rank
+	// floor the coordinator derives is then vacuous; see core.Floor).
+	Query(ctx context.Context, a core.Algorithm, q int32, k int) (*core.Result, error)
+	// Size hints how many queries the backend can serve concurrently
+	// (engine slots); the coordinator budgets batch fan-out with it.
+	Size() int
+	// Indexed reports whether the backend serves Indexed queries.
+	Indexed() bool
+	// Describe labels the backend in /statsz and logs.
+	Describe() string
+	// Close releases backend resources.
+	Close() error
+}
+
+// LocalShard serves a shard from an in-process engine pool whose
+// Candidates mask restricts results to the shard's vertices.
+type LocalShard struct {
+	pool *core.Pool
+	desc string
+}
+
+// NewLocalShard builds the shard'th of shards in-process backends over g:
+// an engine pool whose candidate class is the partitioner's mask for that
+// shard, intersected with opts.Candidates when the caller is already
+// bichromatic. ix, when non-nil, must be a concurrency-safe index covering
+// g; passing the SAME index to every local shard is both safe and
+// desirable — all shards then feed one set of dictionaries, exactly like a
+// single-node pool.
+func NewLocalShard(g *graph.Graph, opts core.Options, part Partitioner, shards, shard, poolSize int, ix ridx.Index) (*LocalShard, error) {
+	mask, err := ShardMask(g, part, shards, shard, opts.Candidates)
+	if err != nil {
+		return nil, err
+	}
+	opts.Candidates = mask
+	var pool *core.Pool
+	if ix != nil {
+		if pool, err = core.NewPoolWithIndex(g, opts, poolSize, ix); err != nil {
+			return nil, err
+		}
+	} else {
+		pool = core.NewPool(g, opts, poolSize)
+	}
+	return &LocalShard{
+		pool: pool,
+		desc: fmt.Sprintf("local[%d/%d %s]", shard, shards, part.Name()),
+	}, nil
+}
+
+// Pool exposes the shard's pool (tests and occupancy introspection).
+func (s *LocalShard) Pool() *core.Pool { return s.pool }
+
+// Query implements ShardBackend.
+func (s *LocalShard) Query(ctx context.Context, a core.Algorithm, q int32, k int) (*core.Result, error) {
+	return s.pool.QueryContext(ctx, a, q, k)
+}
+
+// Size implements ShardBackend.
+func (s *LocalShard) Size() int { return s.pool.Size() }
+
+// Indexed implements ShardBackend.
+func (s *LocalShard) Indexed() bool { return s.pool.Indexed() }
+
+// Describe implements ShardBackend.
+func (s *LocalShard) Describe() string { return s.desc }
+
+// Close implements ShardBackend.
+func (s *LocalShard) Close() error { return nil }
+
+// RemoteShard serves a shard from a remote rkserve instance (booted with
+// -shard i/P so its pool's candidate class is that shard's mask) through
+// the /v1/query wire contract.
+type RemoteShard struct {
+	client  *server.Client
+	url     string
+	size    int
+	indexed bool
+}
+
+// RemoteExpect is what a coordinator requires of a remote backend before
+// trusting its answers in a merge. Zero-valued fields are not checked.
+type RemoteExpect struct {
+	// Nodes is the graph's node count: shards booted on different graphs
+	// are the most common cluster misconfiguration.
+	Nodes int
+	// Shard is the ownership spec "i/P" the backend must have been booted
+	// with (rkserve -shard, published on its /healthz). Merging assumes
+	// DISJOINT candidate classes, so a duplicated, swapped, or full-graph
+	// backend would answer silently wrong — this check refuses it at
+	// startup instead.
+	Shard string
+	// Partitioner is the partitioner name the shard masks must come from;
+	// only meaningful together with Shard.
+	Partitioner string
+}
+
+// NewRemoteShard dials url's /healthz to learn the backend's capacity and
+// index state, and verifies it against expect.
+func NewRemoteShard(ctx context.Context, url string, expect RemoteExpect) (*RemoteShard, error) {
+	c := server.NewClient(url)
+	doc, err := c.Health(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %s: %w", url, err)
+	}
+	size := 1
+	if v, ok := doc["pool_size"].(float64); ok && v >= 1 {
+		size = int(v)
+	}
+	indexed, _ := doc["indexed"].(bool)
+	if expect.Nodes > 0 {
+		if v, ok := doc["graph_nodes"].(float64); !ok || int(v) != expect.Nodes {
+			return nil, fmt.Errorf("cluster: shard %s serves a %v-node graph, coordinator expects %d", url, doc["graph_nodes"], expect.Nodes)
+		}
+	}
+	if expect.Shard != "" {
+		if got, _ := doc["shard"].(string); got != expect.Shard {
+			return nil, fmt.Errorf("cluster: backend %s publishes shard spec %q, coordinator expects %q (boot it with rkserve -shard %s; a duplicate or full-graph backend would merge silently wrong)",
+				url, got, expect.Shard, expect.Shard)
+		}
+		if expect.Partitioner != "" {
+			if got, _ := doc["shard_partitioner"].(string); got != expect.Partitioner {
+				return nil, fmt.Errorf("cluster: backend %s partitions with %q, coordinator expects %q: shard ownership would not line up",
+					url, doc["shard_partitioner"], expect.Partitioner)
+			}
+		}
+	}
+	return &RemoteShard{client: c, url: url, size: size, indexed: indexed}, nil
+}
+
+// Query implements ShardBackend, mapping wire errors back to the typed
+// errors the engine layer would have returned in process: client-fault
+// responses to the core.ErrInvalidArgument family, deadline expiry to
+// context.DeadlineExceeded. 429s keep their server.StatusError (with the
+// parsed Retry-After) so the coordinator can aggregate overload hints;
+// everything else is a shard availability failure.
+func (s *RemoteShard) Query(ctx context.Context, a core.Algorithm, q int32, k int) (*core.Result, error) {
+	resp, err := s.client.Query(ctx, a.String(), q, k, 0)
+	if err != nil {
+		var se *server.StatusError
+		if errors.As(err, &se) {
+			switch se.Status {
+			case http.StatusBadRequest:
+				return nil, fmt.Errorf("cluster: shard %s rejected the request: %s: %w", s.url, se.Msg, core.ErrInvalidArgument)
+			case http.StatusGatewayTimeout:
+				return nil, fmt.Errorf("cluster: shard %s: %s: %w", s.url, se.Msg, context.DeadlineExceeded)
+			}
+		}
+		return nil, err
+	}
+	entries := make([]rank.Entry, len(resp.Entries))
+	for i, e := range resp.Entries {
+		entries[i] = rank.Entry{Node: e.Node, Rank: e.Rank}
+	}
+	res := &core.Result{Query: q, K: k, Entries: entries, Partial: resp.Partial}
+	if resp.Stats != nil {
+		res.Stats = *resp.Stats
+	}
+	return res, nil
+}
+
+// Size implements ShardBackend.
+func (s *RemoteShard) Size() int { return s.size }
+
+// Indexed implements ShardBackend.
+func (s *RemoteShard) Indexed() bool { return s.indexed }
+
+// Describe implements ShardBackend.
+func (s *RemoteShard) Describe() string { return "remote[" + s.url + "]" }
+
+// Close implements ShardBackend.
+func (s *RemoteShard) Close() error { return nil }
+
+// overloadHint extracts the Retry-After of a shard 429, reporting whether
+// err is an overload shed at all.
+func overloadHint(err error) (time.Duration, bool) {
+	var se *server.StatusError
+	if errors.As(err, &se) && se.Status == http.StatusTooManyRequests {
+		return se.RetryAfter, true
+	}
+	return 0, false
+}
+
+// fatalQueryError reports errors the coordinator must propagate verbatim
+// instead of treating as shard failures: request-validation errors (the
+// caller's fault, identical on every shard) and context cancellation or
+// expiry (the caller's deadline, not the shard's health).
+func fatalQueryError(err error) bool {
+	return errors.Is(err, core.ErrInvalidArgument) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,485 @@
+// Package cluster serves reverse k-ranks queries across multiple shard
+// backends: the cross-process scaling layer the ROADMAP points at, built
+// behind the exact query semantics of internal/core and the wire contract
+// of internal/server.
+//
+// # Why vertex shards work
+//
+// Rank(p, q) is a global shortest-path property — it cannot be computed
+// from a subgraph — so the graph itself is not partitioned. What IS
+// partitioned is the candidate class: shard i answers queries for its own
+// vertices only (an Options.Candidates mask), which divides the dominant
+// query cost, the per-candidate rank refinements, across shards. Every
+// shard still holds the whole graph, like the partitioned hub labelings
+// of ReHub partition label work rather than topology.
+//
+// # Scatter-gather with rank-floor pruning
+//
+// The coordinator fans a query out to all P shards at a reduced result
+// size k0 ~ k/P + slack. Because results are canonical (the minimum k0
+// entries by (rank, node id) — see core.Result), a full shard answer
+// certifies a rank floor: every candidate the shard withheld orders
+// strictly after its last returned entry. After merging round one, a
+// shard whose floor clears the merged k-th entry can be short-circuited —
+// none of its remaining candidates can enter the global top-k — and only
+// the rest are re-fetched at full k. Boundary ties are handled exactly:
+// floors and cutoffs compare as (rank, node id) pairs, so a withheld
+// candidate that would tie-break into the result always forces the
+// escalation. Two rounds always suffice: a full-k shard answer's floor
+// clears any merged cutoff by construction.
+//
+// The merged result is therefore byte-identical to a single-node
+// Pool.Query over the unsharded candidate class, for all four algorithms,
+// while transferring far fewer than P*k entries per query.
+//
+// # Degradation
+//
+// Per-shard health tracking trips a backend after consecutive failures
+// and retries it after a backoff. Under Config.StrictConsistency a query
+// touching an unavailable shard fails with ErrShardUnavailable (HTTP
+// 503); in the default degraded mode the coordinator answers from the
+// healthy shards and marks the result Partial. Shard 429s are aggregated
+// into an OverloadedError carrying the MAXIMUM shard Retry-After.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rkranks/internal/core"
+	"rkranks/internal/graph"
+	"rkranks/internal/ridx"
+)
+
+// firstRoundSlack pads the auto first-round k above the uniform share
+// k/P: candidate quality is never perfectly uniform across shards, and a
+// couple of spare entries per shard prevent most escalations.
+const firstRoundSlack = 2
+
+// Config tunes a Coordinator. The zero value is production-sane.
+type Config struct {
+	// StrictConsistency refuses queries (ErrShardUnavailable, HTTP 503)
+	// whenever any shard is unavailable, instead of answering partially.
+	StrictConsistency bool
+
+	// FirstRoundK overrides the size of the first scatter round
+	// (0 = auto: ceil(k/P) + 2, capped at k). Values >= k disable
+	// rank-floor pruning — every shard then answers at full k in one
+	// round.
+	FirstRoundK int
+
+	// NaiveGather forces the single-round full-k scatter, the baseline
+	// the serving_cluster experiment compares rank-floor pruning against.
+	NaiveGather bool
+
+	// FailureThreshold is how many consecutive failures trip a shard
+	// (<= 0 defaults to 3).
+	FailureThreshold int
+
+	// RetryBackoff is how long a tripped shard is skipped before the
+	// next query probes it again (<= 0 defaults to 5s).
+	RetryBackoff time.Duration
+}
+
+func (c *Config) failureThreshold() int {
+	if c.FailureThreshold <= 0 {
+		return 3
+	}
+	return c.FailureThreshold
+}
+
+func (c *Config) retryBackoff() time.Duration {
+	if c.RetryBackoff <= 0 {
+		return 5 * time.Second
+	}
+	return c.RetryBackoff
+}
+
+// shardHealth is one backend's failure tracking: consecutive failures
+// trip it for a backoff window; after the window, exactly ONE query at a
+// time is admitted as the half-open probe (claimProbe) while everyone
+// else keeps skipping the shard — a tripped backend under heavy traffic
+// must not absorb the whole query population's connect latency the
+// instant its backoff expires.
+type shardHealth struct {
+	mu        sync.Mutex
+	fails     int
+	downUntil time.Time
+	probing   bool
+}
+
+// claimProbe reports whether a query may use the shard, claiming the
+// half-open probe slot when the shard is tripped but due for one.
+func (h *shardHealth) claimProbe(now time.Time, threshold int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.fails < threshold {
+		return true
+	}
+	if now.After(h.downUntil) && !h.probing {
+		h.probing = true
+		return true
+	}
+	return false
+}
+
+// healthy is the read-only view for /statsz: it never claims the probe.
+func (h *shardHealth) healthy(threshold int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.fails < threshold
+}
+
+// releaseProbe returns an unused probe claim (a query refused before
+// scattering). Harmless on shards that were simply healthy.
+func (h *shardHealth) releaseProbe() {
+	h.mu.Lock()
+	h.probing = false
+	h.mu.Unlock()
+}
+
+func (h *shardHealth) record(ok bool, threshold int, backoff time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.probing = false
+	if ok {
+		h.fails = 0
+		return
+	}
+	h.fails++
+	if h.fails >= threshold {
+		h.downUntil = time.Now().Add(backoff)
+	}
+}
+
+// Coordinator scatters reverse k-ranks queries across shard backends and
+// merges the answers with rank-floor pruning. It implements the
+// server.Backend interface, so internal/server serves a cluster through
+// the unchanged /v1/query contract. Safe for concurrent use.
+type Coordinator struct {
+	backends []ShardBackend
+	cfg      Config
+	health   []shardHealth
+	metrics  *metrics
+	closed   atomic.Bool
+}
+
+// New builds a coordinator over the given shard backends. The backends
+// must partition one graph's candidate class between them (NewLocalShard
+// and rkserve -shard both derive masks from the same deterministic
+// partitioners, so agreeing on (partitioner, P) is enough).
+func New(backends []ShardBackend, cfg Config) (*Coordinator, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("cluster: at least one shard backend is required")
+	}
+	return &Coordinator{
+		backends: backends,
+		cfg:      cfg,
+		health:   make([]shardHealth, len(backends)),
+		metrics:  newMetrics(len(backends)),
+	}, nil
+}
+
+// NewLocal builds an in-process cluster: one masked engine pool per shard
+// over g, all sharing ix when non-nil (exactly like a single NewPoolWithIndex
+// pool, just partitioned). poolSize sizes each shard's pool (<= 0 derives
+// a default that splits the machine across shards).
+func NewLocal(g *graph.Graph, opts core.Options, part Partitioner, shards, poolSize int, ix ridx.Index, cfg Config) (*Coordinator, error) {
+	if part == nil {
+		part = Modulo{}
+	}
+	backends := make([]ShardBackend, shards)
+	for i := 0; i < shards; i++ {
+		ls, err := NewLocalShard(g, opts, part, shards, i, poolSize, ix)
+		if err != nil {
+			return nil, err
+		}
+		backends[i] = ls
+	}
+	return New(backends, cfg)
+}
+
+// ShardCount returns the number of shard backends.
+func (c *Coordinator) ShardCount() int { return len(c.backends) }
+
+// Size implements server.Backend: the cluster's concurrent-query capacity
+// is its bottleneck shard's, since every query occupies one engine slot
+// on every shard.
+func (c *Coordinator) Size() int {
+	size := c.backends[0].Size()
+	for _, b := range c.backends[1:] {
+		if s := b.Size(); s < size {
+			size = s
+		}
+	}
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// Indexed implements server.Backend: Indexed queries are serveable only
+// when every shard has an index.
+func (c *Coordinator) Indexed() bool {
+	for _, b := range c.backends {
+		if !b.Indexed() {
+			return false
+		}
+	}
+	return true
+}
+
+// ClusterSnapshot implements the server /statsz probe.
+func (c *Coordinator) ClusterSnapshot() any {
+	snap := c.metrics.snapshot()
+	for i := range snap.Shards {
+		snap.Shards[i].Backend = c.backends[i].Describe()
+		snap.Shards[i].Size = c.backends[i].Size()
+		snap.Shards[i].Available = c.health[i].healthy(c.cfg.failureThreshold())
+	}
+	return &snap
+}
+
+// Close releases every backend.
+func (c *Coordinator) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var first error
+	for _, b := range c.backends {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Query is QueryContext with a background context.
+func (c *Coordinator) Query(a core.Algorithm, q int32, k int) (*core.Result, error) {
+	return c.QueryContext(context.Background(), a, q, k)
+}
+
+// shardOut is one shard RPC's outcome.
+type shardOut struct {
+	shard   int
+	res     *core.Result
+	err     error
+	elapsed time.Duration
+}
+
+// gatherState accumulates a query's rounds.
+type gatherState struct {
+	results     []*core.Result // latest result per shard, nil = none
+	stats       core.Stats     // work summed over every round
+	maxShard    time.Duration
+	transferred int
+	partial     bool
+	overloaded  []int
+	retryAfter  time.Duration
+	fatal       error
+	firstFail   *ShardError
+	answered    int
+}
+
+// QueryContext answers one reverse k-ranks query by scatter-gather:
+// round one at the reduced first-round k, rank-floor certification, then
+// a full-k round for only the shards the merge could not certify. The
+// request context (deadline, cancellation) is passed through to every
+// shard RPC.
+func (c *Coordinator) QueryContext(ctx context.Context, a core.Algorithm, q int32, k int) (*core.Result, error) {
+	if err := core.ValidateRequest(a, k); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	P := len(c.backends)
+
+	targets, skipped := c.availableShards()
+	if len(skipped) > 0 && c.cfg.StrictConsistency {
+		// Release any half-open probe slots this query claimed: the
+		// query is refused before it could run them, and a stuck probing
+		// flag would lock the shard out of recovery.
+		for _, i := range targets {
+			c.health[i].releaseProbe()
+		}
+		return nil, &ShardError{Shard: skipped[0], Err: errors.New("tripped by health tracking")}
+	}
+	if len(targets) == 0 {
+		return nil, &ShardError{Shard: skipped[0], Err: errors.New("no shard available")}
+	}
+
+	st := &gatherState{results: make([]*core.Result, P), partial: len(skipped) > 0}
+	k0 := c.firstRoundK(k, P)
+	c.gatherRound(ctx, a, q, k0, targets, st)
+	if err := c.roundError(st); err != nil {
+		return nil, err
+	}
+
+	var escalate []int
+	shortCircuited := 0
+	if k0 < k {
+		merged := mergeTopK(st.results, k)
+		escalate, shortCircuited = unsettledShards(st.results, merged, k)
+		if len(escalate) > 0 {
+			c.gatherRound(ctx, a, q, k, escalate, st)
+			if err := c.roundError(st); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if st.answered == 0 {
+		if st.firstFail != nil {
+			return nil, st.firstFail
+		}
+		return nil, &ShardError{Shard: targets[0], Err: errors.New("no shard answered")}
+	}
+
+	res := &core.Result{
+		Query:   q,
+		K:       k,
+		Entries: mergeTopK(st.results, k),
+		Partial: st.partial,
+		Stats:   st.stats,
+	}
+	c.metrics.observeQuery(time.Since(start), st.maxShard, st.transferred, len(escalate), shortCircuited, st.partial)
+	return res, nil
+}
+
+// availableShards splits the shard ids by health state, claiming the
+// half-open probe slot of any tripped shard whose backoff has expired
+// (at most one concurrent query probes a tripped shard).
+func (c *Coordinator) availableShards() (targets, skipped []int) {
+	now := time.Now()
+	threshold := c.cfg.failureThreshold()
+	for i := range c.backends {
+		if c.health[i].claimProbe(now, threshold) {
+			targets = append(targets, i)
+		} else {
+			skipped = append(skipped, i)
+		}
+	}
+	return targets, skipped
+}
+
+// firstRoundK sizes the first scatter round.
+func (c *Coordinator) firstRoundK(k, shards int) int {
+	if c.cfg.NaiveGather || shards == 1 {
+		return k
+	}
+	k0 := c.cfg.FirstRoundK
+	if k0 <= 0 {
+		k0 = (k+shards-1)/shards + firstRoundSlack
+	}
+	if k0 > k {
+		k0 = k
+	}
+	if k0 < 1 {
+		k0 = 1
+	}
+	return k0
+}
+
+// gatherRound scatters one round to the target shards in parallel and
+// folds the outcomes into st. Failed shards keep whatever result an
+// earlier round produced (degraded mode serves it, flagged Partial).
+func (c *Coordinator) gatherRound(ctx context.Context, a core.Algorithm, q int32, k int, targets []int, st *gatherState) {
+	outs := make([]shardOut, len(targets))
+	var wg sync.WaitGroup
+	for idx, shard := range targets {
+		wg.Add(1)
+		go func(idx, shard int) {
+			defer wg.Done()
+			sm := c.metrics.shards[shard]
+			sm.inFlight.Add(1)
+			t0 := time.Now()
+			res, err := c.backends[shard].Query(ctx, a, q, k)
+			elapsed := time.Since(t0)
+			sm.inFlight.Add(-1)
+			c.metrics.observeShard(shard, elapsed, err)
+			failure := err != nil && !fatalQueryError(err)
+			if _, isOverload := overloadHint(err); isOverload {
+				failure = false // shedding load is the admission layer working, not ill health
+			}
+			c.health[shard].record(!failure, c.cfg.failureThreshold(), c.cfg.retryBackoff())
+			outs[idx] = shardOut{shard: shard, res: res, err: err, elapsed: elapsed}
+		}(idx, shard)
+	}
+	wg.Wait()
+
+	for _, o := range outs {
+		if o.err == nil {
+			st.results[o.shard] = o.res
+			st.stats.Add(o.res.Stats)
+			st.transferred += len(o.res.Entries)
+			st.answered++
+			if o.res.Partial {
+				st.partial = true
+			}
+			if o.elapsed > st.maxShard {
+				st.maxShard = o.elapsed
+			}
+			continue
+		}
+		if fatalQueryError(o.err) {
+			if st.fatal == nil {
+				st.fatal = o.err
+			}
+			continue
+		}
+		if ra, ok := overloadHint(o.err); ok {
+			st.overloaded = append(st.overloaded, o.shard)
+			if ra > st.retryAfter {
+				st.retryAfter = ra
+			}
+			continue
+		}
+		st.partial = true
+		if st.firstFail == nil {
+			st.firstFail = &ShardError{Shard: o.shard, Err: o.err}
+		}
+	}
+}
+
+// roundError turns a round's fatal outcomes into the query's error:
+// request faults and context expiry propagate verbatim, any shard 429
+// makes the whole query a 429 with the max shard Retry-After, and in
+// strict mode the first shard failure refuses the query.
+func (c *Coordinator) roundError(st *gatherState) error {
+	if st.fatal != nil {
+		return st.fatal
+	}
+	if len(st.overloaded) > 0 {
+		return &OverloadedError{Shards: st.overloaded, RetryAfter: st.retryAfter}
+	}
+	if c.cfg.StrictConsistency && st.firstFail != nil {
+		return st.firstFail
+	}
+	return nil
+}
+
+// QueryMany is QueryManyContext with a background context.
+func (c *Coordinator) QueryMany(a core.Algorithm, queries []int32, k int) ([]*core.Result, error) {
+	return c.QueryManyContext(context.Background(), a, queries, k)
+}
+
+// QueryManyContext implements the batch entry point of server.Backend:
+// one scatter-gather per query, pipelined up to the cluster's bottleneck
+// capacity (Size) by the shared core.FanOut loop, results in input
+// order. The first error is returned; remaining queries still run.
+func (c *Coordinator) QueryManyContext(ctx context.Context, a core.Algorithm, queries []int32, k int) ([]*core.Result, error) {
+	if err := core.ValidateRequest(a, k); err != nil {
+		return nil, err
+	}
+	return core.FanOut(ctx, c.Size(), queries, func(ctx context.Context, q int32) (*core.Result, error) {
+		return c.QueryContext(ctx, a, q, k)
+	})
+}
+
+var (
+	_ ShardBackend = (*LocalShard)(nil)
+	_ ShardBackend = (*RemoteShard)(nil)
+)

@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ErrShardUnavailable is the root of every shard-availability error: a
+// backend that cannot be reached, keeps failing, or is tripped by the
+// coordinator's health tracking. Under Config.StrictConsistency the
+// coordinator surfaces it for the whole query (internal/server maps it to
+// 503); in degraded mode it is only returned when NO shard could answer.
+var ErrShardUnavailable = errors.New("cluster: shard unavailable")
+
+// ShardError reports a failure of one shard backend, wrapping
+// ErrShardUnavailable for errors.Is dispatch.
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("cluster: shard %d unavailable: %v", e.Shard, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return ErrShardUnavailable }
+
+// HTTPStatus implements the server error-mapping probe: a query refused
+// for shard unavailability is a 503, like a draining server — the load
+// balancer should try a replica.
+func (e *ShardError) HTTPStatus() (int, string) {
+	return http.StatusServiceUnavailable, "shard_unavailable"
+}
+
+// OverloadedError reports that one or more shards shed the query with
+// 429. RetryAfter is the MAXIMUM hint across the overloaded shards: the
+// query cannot succeed until the slowest-recovering shard admits again,
+// so the coordinator must not substitute its own (shorter) queue
+// estimate.
+type OverloadedError struct {
+	// Shards lists the overloaded shard ids.
+	Shards []int
+	// RetryAfter is the largest Retry-After any overloaded shard sent.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("cluster: shards %v overloaded (retry after %v)", e.Shards, e.RetryAfter)
+}
+
+// HTTPStatus implements the server error-mapping probe.
+func (e *OverloadedError) HTTPStatus() (int, string) {
+	return http.StatusTooManyRequests, "overloaded"
+}
+
+// RetryAfterHint implements the server Retry-After probe.
+func (e *OverloadedError) RetryAfterHint() time.Duration { return e.RetryAfter }

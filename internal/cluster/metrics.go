@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rkranks/internal/stats"
+)
+
+// latWindow sizes the recent-latency rings (coordinator, max-shard, and
+// per-shard): big enough for stable p99, small enough to track current
+// behavior.
+const latWindow = 1024
+
+// latRing is a fixed-size latency window with percentile snapshots.
+type latRing struct {
+	buf [latWindow]float64 // seconds
+	n   int
+	idx int
+}
+
+func (r *latRing) observe(d time.Duration) {
+	r.buf[r.idx] = d.Seconds()
+	r.idx = (r.idx + 1) % latWindow
+	if r.n < latWindow {
+		r.n++
+	}
+}
+
+func (r *latRing) snapshot() LatencySnapshot {
+	if r.n == 0 {
+		return LatencySnapshot{}
+	}
+	window := make([]float64, r.n)
+	copy(window, r.buf[:r.n])
+	return LatencySnapshot{
+		P50:    1000 * stats.Percentile(window, 50),
+		P99:    1000 * stats.Percentile(window, 99),
+		Mean:   1000 * stats.Mean(window),
+		Window: r.n,
+	}
+}
+
+// LatencySnapshot reports percentiles over a recent-latency window, in
+// milliseconds. Field names are part of the /statsz wire format.
+type LatencySnapshot struct {
+	P50    float64 `json:"p50"`
+	P99    float64 `json:"p99"`
+	Mean   float64 `json:"mean"`
+	Window int     `json:"window"`
+}
+
+// metrics aggregates coordinator telemetry. The mutex guards the rings and
+// counters; the per-shard in-flight gauges are atomics so the scatter hot
+// path touches the lock once per query, not once per shard RPC.
+type metrics struct {
+	mu sync.Mutex
+
+	queries        int64
+	partials       int64
+	failures       int64 // shard-level failures observed
+	escalations    int64 // round-2 shard fetches
+	shortCircuited int64 // shards settled by their round-1 floor
+	transferred    int64 // result entries moved coordinator-ward
+
+	coord    latRing // whole scatter-gather-merge per query
+	maxShard latRing // slowest shard RPC per query
+
+	shards []*shardMetrics
+}
+
+type shardMetrics struct {
+	inFlight atomic.Int64
+
+	mu      sync.Mutex
+	queries int64
+	errors  int64
+	lat     latRing
+}
+
+func newMetrics(shards int) *metrics {
+	m := &metrics{shards: make([]*shardMetrics, shards)}
+	for i := range m.shards {
+		m.shards[i] = &shardMetrics{}
+	}
+	return m
+}
+
+// observeShard records one shard RPC.
+func (m *metrics) observeShard(shard int, elapsed time.Duration, err error) {
+	s := m.shards[shard]
+	s.mu.Lock()
+	s.queries++
+	if err != nil {
+		s.errors++
+	} else {
+		s.lat.observe(elapsed)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		m.mu.Lock()
+		m.failures++
+		m.mu.Unlock()
+	}
+}
+
+// observeQuery records one coordinator query's aggregate outcome.
+func (m *metrics) observeQuery(elapsed, maxShard time.Duration, transferred, escalated, shortCircuited int, partial bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queries++
+	if partial {
+		m.partials++
+	}
+	m.transferred += int64(transferred)
+	m.escalations += int64(escalated)
+	m.shortCircuited += int64(shortCircuited)
+	m.coord.observe(elapsed)
+	if maxShard > 0 {
+		m.maxShard.observe(maxShard)
+	}
+}
+
+// Snapshot is the cluster section of /statsz. Field names are a frozen
+// wire format: add, never rename.
+type Snapshot struct {
+	Queries        int64 `json:"queries"`
+	PartialResults int64 `json:"partial_results"`
+	ShardFailures  int64 `json:"shard_failures"`
+
+	// EntriesTransferred counts result entries moved from shards to the
+	// coordinator. Rank-floor pruning exists to keep it far below
+	// shards x k x queries (what a naive full-k gather moves).
+	EntriesTransferred int64 `json:"entries_transferred"`
+	// Escalations counts round-2 full-k shard fetches (a shard whose
+	// round-1 floor could not certify the merged cutoff).
+	Escalations int64 `json:"escalations"`
+	// ShortCircuited counts shards whose round-1 floor already cleared
+	// the merged cutoff, so their remaining candidates were never
+	// transferred.
+	ShortCircuited int64 `json:"short_circuited"`
+
+	// Coordinator is the full scatter-gather-merge latency;
+	// MaxShard is the slowest shard RPC within each query. The gap
+	// between them is the merge + fan-out overhead the coordinator adds
+	// over its slowest shard.
+	Coordinator LatencySnapshot `json:"coordinator_ms"`
+	MaxShard    LatencySnapshot `json:"max_shard_ms"`
+
+	Shards []ShardSnapshot `json:"shards"`
+}
+
+// ShardSnapshot is one shard's health and load view.
+type ShardSnapshot struct {
+	ID        int             `json:"id"`
+	Backend   string          `json:"backend"`
+	Available bool            `json:"available"`
+	Size      int             `json:"size"`
+	InFlight  int64           `json:"in_flight"`
+	Queries   int64           `json:"queries"`
+	Errors    int64           `json:"errors"`
+	Latency   LatencySnapshot `json:"latency_ms"`
+}
+
+func (m *metrics) snapshot() Snapshot {
+	m.mu.Lock()
+	snap := Snapshot{
+		Queries:            m.queries,
+		PartialResults:     m.partials,
+		ShardFailures:      m.failures,
+		EntriesTransferred: m.transferred,
+		Escalations:        m.escalations,
+		ShortCircuited:     m.shortCircuited,
+		Coordinator:        m.coord.snapshot(),
+		MaxShard:           m.maxShard.snapshot(),
+		Shards:             make([]ShardSnapshot, len(m.shards)),
+	}
+	m.mu.Unlock()
+	for i, s := range m.shards {
+		s.mu.Lock()
+		snap.Shards[i] = ShardSnapshot{
+			ID:       i,
+			InFlight: s.inFlight.Load(),
+			Queries:  s.queries,
+			Errors:   s.errors,
+			Latency:  s.lat.snapshot(),
+		}
+		s.mu.Unlock()
+	}
+	return snap
+}

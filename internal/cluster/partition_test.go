@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"testing"
+
+	"rkranks/internal/gen"
+	tg "rkranks/internal/testgraphs"
+)
+
+func TestPartitionersCoverDisjointly(t *testing.T) {
+	g := gen.DBLPLike(gen.DBLPLikeParams{Nodes: 500, AttachPerNode: 4, ExtraCollabFactor: 0.5, Seed: 3})
+	for _, part := range []Partitioner{Modulo{}, DegreeBalanced{}} {
+		for _, shards := range []int{1, 2, 3, 8} {
+			masks := part.Masks(g, shards)
+			if len(masks) != shards {
+				t.Fatalf("%s/%d: %d masks", part.Name(), shards, len(masks))
+			}
+			for v := 0; v < g.N(); v++ {
+				owners := 0
+				for _, m := range masks {
+					if m[v] {
+						owners++
+					}
+				}
+				if owners != 1 {
+					t.Fatalf("%s/%d: node %d owned by %d shards", part.Name(), shards, v, owners)
+				}
+			}
+		}
+	}
+}
+
+func TestModuloAssignment(t *testing.T) {
+	g := tg.Path(10)
+	masks := Modulo{}.Masks(g, 3)
+	for v := 0; v < g.N(); v++ {
+		if !masks[v%3][v] {
+			t.Fatalf("node %d not in shard %d", v, v%3)
+		}
+	}
+}
+
+func TestDegreeBalancedBalancesLoad(t *testing.T) {
+	// Power-law-ish graph: degree balance should beat modulo's worst
+	// shard by a clear margin.
+	g := gen.DBLPLike(gen.DBLPLikeParams{Nodes: 1000, AttachPerNode: 6, ExtraCollabFactor: 0.5, Seed: 11})
+	load := func(masks [][]bool) (min, max int64) {
+		min = int64(1) << 60
+		for _, m := range masks {
+			var sum int64
+			for v, in := range m {
+				if in {
+					sum += int64(g.OutDegree(int32(v)))
+				}
+			}
+			if sum < min {
+				min = sum
+			}
+			if sum > max {
+				max = sum
+			}
+		}
+		return min, max
+	}
+	dmin, dmax := load(DegreeBalanced{}.Masks(g, 4))
+	if dmin == 0 || float64(dmax)/float64(dmin) > 1.05 {
+		t.Errorf("degree-balanced shard degree spread %d..%d exceeds 5%%", dmin, dmax)
+	}
+
+	// Determinism: same inputs, same masks.
+	a := DegreeBalanced{}.Masks(g, 4)
+	b := DegreeBalanced{}.Masks(g, 4)
+	for s := range a {
+		for v := range a[s] {
+			if a[s][v] != b[s][v] {
+				t.Fatalf("degree partitioner nondeterministic at shard %d node %d", s, v)
+			}
+		}
+	}
+}
+
+func TestParsePartitioner(t *testing.T) {
+	for name, want := range map[string]string{"": "modulo", "modulo": "modulo", "degree": "degree"} {
+		p, err := ParsePartitioner(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if p.Name() != want {
+			t.Errorf("%q parsed to %s", name, p.Name())
+		}
+	}
+	if _, err := ParsePartitioner("bogus"); err == nil {
+		t.Error("bogus partitioner accepted")
+	}
+}
+
+func TestShardMaskIntersectsGlobalClass(t *testing.T) {
+	g := tg.Path(12)
+	global := make([]bool, g.N())
+	for v := 0; v < g.N(); v += 2 {
+		global[v] = true
+	}
+	mask, err := ShardMask(g, Modulo{}, 3, 1, global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range mask {
+		want := v%3 == 1 && global[v]
+		if mask[v] != want {
+			t.Errorf("node %d: mask %v, want %v", v, mask[v], want)
+		}
+	}
+	if _, err := ShardMask(g, Modulo{}, 3, 3, nil); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	if _, err := ShardMask(g, Modulo{}, 3, 0, make([]bool, 5)); err == nil {
+		t.Error("mismatched global mask accepted")
+	}
+}

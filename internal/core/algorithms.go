@@ -55,7 +55,11 @@ func (e *Engine) static(q int32, k int) *Result {
 // dynamic is the Dynamic Bounded SDS-tree (Section 4): the candidacy
 // decision is delayed to dequeue time and a Theorem-2 lower bound —
 // max(height, parent rank, visit count) — skips the refinement entirely
-// when it already reaches kRank.
+// when it already exceeds kRank. The comparison is strict so that
+// candidates tying the k-th rank are still refined and tie-break through
+// the result heap: every engine then returns the canonical minimum k
+// entries by (rank, node id), independent of traversal and pruning order
+// — the invariant the cluster coordinator's shard merge relies on.
 func (e *Engine) dynamic(q int32, k int) *Result {
 	e.begin(q, k, Dynamic)
 	e.tree.ResetReverse(q)
@@ -75,7 +79,7 @@ func (e *Engine) dynamic(q int32, k int) *Result {
 			continue
 		}
 		lb := e.lowerBound(v, 0)
-		if lb >= e.heap.kRank() {
+		if lb > e.heap.kRank() {
 			e.skipCandidate(v, d, lb)
 			continue // prune the refinement (Theorem 2)
 		}
@@ -89,7 +93,10 @@ func (e *Engine) dynamic(q int32, k int) *Result {
 // where an uncounted node's descendants may rank one better than the node
 // itself (see descBound) and must still be explored. The recorded
 // descendant bound keeps the parent's (which passes through v unweakened)
-// when that is stronger than v's own adjusted bound.
+// when that is stronger than v's own adjusted bound. Expansion is
+// tie-inclusive (db <= kRank): a descendant tying the k-th rank could
+// still tie-break into the canonical result, so only a strictly worse
+// certified bound may cut the subtree.
 func (e *Engine) skipCandidate(v int32, d float64, lb int32) {
 	db := e.descBound(v, lb)
 	if pb := e.parentBound(v); pb > db {
@@ -97,7 +104,7 @@ func (e *Engine) skipCandidate(v int32, d float64, lb int32) {
 	}
 	e.setDescBound(v, db)
 	e.stats.PrunedByBound++
-	expand := db < e.heap.kRank()
+	expand := db <= e.heap.kRank()
 	if expand {
 		e.tree.Expand(v, d)
 	}
@@ -144,7 +151,7 @@ func (e *Engine) indexed(q int32, k int) *Result {
 			continue
 		}
 		lb := e.lowerBound(v, check)
-		if lb >= e.heap.kRank() {
+		if lb > e.heap.kRank() {
 			e.skipCandidate(v, d, lb)
 			continue
 		}
@@ -165,14 +172,17 @@ func (e *Engine) seedFromIndex() {
 }
 
 // indexHit handles a dequeued candidate whose exact rank the Reverse Rank
-// Dictionary already knows, skipping its refinement.
+// Dictionary already knows, skipping its refinement. Like settleRefined,
+// expansion is decided on the tie-inclusive descendant bound so the
+// canonical result never loses a boundary tie to the index shortcut.
 func (e *Engine) indexHit(v int32, d float64, r int32) {
 	e.stats.IndexHits++
-	e.setDescBound(v, e.descBound(v, r))
+	db := e.descBound(v, r)
+	e.setDescBound(v, db)
 	if r <= e.heap.kRank() {
 		e.offer(v, r)
 	}
-	expand := r <= e.heap.kRank()
+	expand := db <= e.heap.kRank()
 	if expand {
 		e.tree.Expand(v, d)
 	}

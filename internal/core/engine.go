@@ -334,15 +334,19 @@ func (e *Engine) refineAndSettle(v int32, d float64, seq int32) {
 // decisions for a refined candidate. Subtree pruning uses the
 // descendant-transferred bound (see descBound), not v's own.
 func (e *Engine) settleRefined(v int32, d float64, bound int32, exact bool) {
-	e.setDescBound(v, e.descBound(v, bound))
+	db := e.descBound(v, bound)
+	e.setDescBound(v, db)
 	if exact && bound <= e.heap.kRank() {
 		e.offer(v, bound)
 	}
-	// Skipping expansion is sound once descendants cannot beat kRank:
-	// they rank at least descBound(v, bound), and bound > kRank implies
-	// descBound >= kRank, leaving at most optional ties. Expanding on the
-	// tie-inclusive self bound mirrors the paper's Algorithm 1.
-	expand := bound <= e.heap.kRank()
+	// Skipping expansion is sound only once descendants provably cannot
+	// enter the canonical result: they rank at least descBound(v, bound),
+	// so the subtree is cut exactly when that bound strictly exceeds
+	// kRank. The comparison is tie-inclusive (db <= kRank expands)
+	// because a descendant tying the k-th rank can still tie-break in by
+	// node id — the canonical-result invariant the cluster merge needs.
+	// In monochromatic graphs db == bound, matching Algorithm 1.
+	expand := db <= e.heap.kRank()
 	if expand {
 		e.tree.Expand(v, d)
 	}

@@ -32,6 +32,12 @@ var (
 	ErrIndexRequired = fmt.Errorf("index required: %w", ErrInvalidArgument)
 )
 
+// ValidateRequest checks the (algorithm, k) pair every query entry point
+// shares, with the same typed errors the engine and pool report. Serving
+// layers that fan a query out to several pools (internal/cluster) call it
+// once up front so a malformed request never reaches a shard.
+func ValidateRequest(a Algorithm, k int) error { return validateRequest(a, k) }
+
 // validateRequest checks the (algorithm, k) pair every query entry point
 // shares. The pool performs it before borrowing an engine, so a malformed
 // request is rejected immediately instead of occupying a permit.

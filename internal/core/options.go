@@ -2,8 +2,9 @@
 // the brute-force baseline (Section 2), the static SDS-tree filter-and-
 // refine framework (Section 3), the Dynamic Bounded SDS-tree (Section 4),
 // and the index-assisted engine (Section 5). All engines operate on the
-// same graph substrate and produce rank-identical results; they differ only
-// in how much work they avoid.
+// same graph substrate and produce byte-identical canonical results — the
+// minimum k entries by (rank, node id) — differing only in how much work
+// they avoid.
 package core
 
 import (

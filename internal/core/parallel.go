@@ -377,7 +377,7 @@ func (e *Engine) maybeSpeculate(algo Algorithm, v int32, d float64, ps *parallel
 				return nil
 			}
 		}
-		if e.lowerBoundAt(v, check, false) >= e.heap.kRank() {
+		if e.lowerBoundAt(v, check, false) > e.heap.kRank() {
 			return nil // already provably pruned at apply time
 		}
 	}
@@ -430,7 +430,7 @@ func (e *Engine) applyCandidate(algo Algorithm, en *pendingEntry, ps *parallelSt
 		}
 	}
 	if algo != Static {
-		if lb := e.lowerBound(v, check); lb >= e.heap.kRank() {
+		if lb := e.lowerBound(v, check); lb > e.heap.kRank() {
 			e.discardJob(ps, en.job)
 			e.skipCandidate(v, d, lb)
 			return

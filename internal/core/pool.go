@@ -86,6 +86,11 @@ func (p *Pool) Size() int { return cap(p.engines) }
 // Index returns the shared index, or nil for an index-free pool.
 func (p *Pool) Index() ridx.Index { return p.idx }
 
+// Indexed reports whether the pool serves Indexed queries (it was built
+// with NewPoolWithIndex over a shared concurrency-safe index). It is the
+// server.Backend capability probe, shared with cluster coordinators.
+func (p *Pool) Indexed() bool { return p.idx != nil }
+
 // validate rejects malformed requests at the pool boundary — before an
 // engine permit is consumed — with typed errors (errors.Is against
 // ErrInvalidArgument and its refinements), so servers can map them to
@@ -145,10 +150,26 @@ func (p *Pool) QueryManyContext(ctx context.Context, a Algorithm, queries []int3
 	if err := p.validate(a, k); err != nil {
 		return nil, err
 	}
+	return FanOut(ctx, p.Size(), queries, func(ctx context.Context, q int32) (*Result, error) {
+		return p.QueryContext(ctx, a, q, k)
+	})
+}
+
+// FanOut evaluates query for every element of queries on at most workers
+// goroutines (a shared-counter pull, so a million-element batch costs
+// workers goroutines) and returns the results in input order. The first
+// error is returned; remaining queries still run, except after ctx
+// cancellation, when unstarted queries are skipped. It is the one batch
+// fan-out loop behind Pool.QueryManyContext and the cluster coordinator's
+// — the subtle parts (first-error capture, continue-on-error, cancel
+// short-circuit) live here once.
+func FanOut(ctx context.Context, workers int, queries []int32, query func(context.Context, int32) (*Result, error)) ([]*Result, error) {
 	results := make([]*Result, len(queries))
-	workers := p.Size()
 	if workers > len(queries) {
 		workers = len(queries)
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -163,7 +184,7 @@ func (p *Pool) QueryManyContext(ctx context.Context, a Algorithm, queries []int3
 				if i >= len(queries) {
 					return
 				}
-				res, err := p.QueryContext(ctx, a, queries[i], k)
+				res, err := query(ctx, queries[i])
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {

@@ -79,6 +79,13 @@ func (s *Stats) Add(other Stats) {
 }
 
 // Result is the answer to one reverse k-ranks query.
+//
+// Entries is canonical: the minimum K candidates by (rank, node id),
+// independent of engine, traversal order, pruning, index state, and —
+// for cluster-merged results — shard layout. Every exclusion an engine
+// performs is backed by a bound that strictly exceeds the final k-th
+// (rank, node id) pair, so boundary ties always tie-break into the
+// result by node id rather than by evaluation order.
 type Result struct {
 	// Query is the query node q.
 	Query int32
@@ -88,11 +95,57 @@ type Result struct {
 	// ordered by (rank, node id). len(Entries) < K only when fewer than K
 	// nodes can reach q.
 	Entries []rank.Entry
+	// Partial marks a result assembled from an incomplete candidate set:
+	// a cluster coordinator answered in degraded mode while one or more
+	// shard backends were unavailable, so entries owned by those shards
+	// may be missing. Single-node engines never set it.
+	Partial bool
 	// Stats describes the work performed.
 	Stats Stats
 	// Trace holds the per-node decision log when Engine.SetTracing is
 	// enabled, nil otherwise.
 	Trace []TraceEvent
+}
+
+// Floor is a certified exclusive bound, in (rank, node id) result order,
+// on every candidate a query evaluated but did not return: each withheld
+// candidate either cannot reach the query node at all or orders strictly
+// after (Rank, Node). A cluster coordinator uses shard floors to certify
+// a merged global top-k without transferring every shard's full result
+// (see internal/cluster).
+type Floor struct {
+	// Rank and Node are the k-th returned entry (the floor's witness).
+	Rank int32
+	Node int32
+	// Exhausted reports that the query returned every candidate able to
+	// reach the query node: nothing was withheld, the floor is vacuous.
+	Exhausted bool
+}
+
+// Floor derives the rank floor a full result certifies: a result shorter
+// than K exhausted its candidate class, and a full one withholds only
+// candidates ordering strictly after its last entry — a consequence of
+// Entries being the canonical minimum K by (rank, node id).
+func (r *Result) Floor() Floor {
+	if len(r.Entries) < r.K {
+		return Floor{Exhausted: true}
+	}
+	last := r.Entries[len(r.Entries)-1]
+	return Floor{Rank: last.Rank, Node: last.Node}
+}
+
+// Clears reports whether the floor certifies that every withheld
+// candidate orders strictly after cutoff in (rank, node id) order — the
+// condition under which a shard that returned this floor cannot change a
+// merged result whose k-th entry is cutoff.
+func (f Floor) Clears(cutoff rank.Entry) bool {
+	if f.Exhausted {
+		return true
+	}
+	if f.Rank != cutoff.Rank {
+		return f.Rank > cutoff.Rank
+	}
+	return f.Node >= cutoff.Node
 }
 
 // KRank returns the largest rank in the result (the k-th top rank), or 0

@@ -145,11 +145,12 @@ func runBatch(e *core.Engine, algo core.Algorithm, queries []int32, k int) (batc
 	return b, nil
 }
 
-// Experiment names, in paper order; "serving", "latency", and
-// "serving_http" extend the paper's evaluation with the pooled-concurrency
-// throughput study, the intra-query parallel refinement latency study, and
-// the HTTP serving-stack load sweep (offered load vs p99 through
-// internal/server).
+// Experiment names, in paper order; "serving", "latency", "serving_http",
+// and "serving_cluster" extend the paper's evaluation with the
+// pooled-concurrency throughput study, the intra-query parallel
+// refinement latency study, the HTTP serving-stack load sweep, and the
+// sharded scatter-gather study (rank-floor pruning vs naive gather
+// across shard counts, through internal/cluster).
 var names = []string{
 	"table3", "table4", "figure5",
 	"figure6", "naive",
@@ -160,6 +161,7 @@ var names = []string{
 	"serving",
 	"latency",
 	"serving_http",
+	"serving_cluster",
 }
 
 // Names lists all experiment identifiers in paper order.
@@ -222,6 +224,9 @@ func (r *Runner) Run(name string) ([]*stats.Table, error) {
 		return wrap(t), err
 	case "serving_http":
 		t, err := r.ServingHTTP()
+		return wrap(t), err
+	case "serving_cluster":
+		t, err := r.ServingCluster()
 		return wrap(t), err
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, names)

@@ -8,6 +8,7 @@
 package gen
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -266,4 +267,25 @@ func StoreClasses(n int, stores []int32) (candidates, counted []bool) {
 		counted[s] = true
 	}
 	return candidates, counted
+}
+
+// Named builds the synthetic graph a serving command's -gen flag selects
+// (dblp|epinions|road|gnm). The parameter choices live here ONCE because
+// rkserve shards and a rkcluster coordinator must load graphs that agree
+// node for node and edge for edge: two per-command copies drifting apart
+// would pass the coordinator's node-count check and still merge silently
+// wrong.
+func Named(kind string, nodes int, seed int64) (*graph.Graph, error) {
+	switch kind {
+	case "dblp":
+		return DBLPLike(DBLPLikeParams{Nodes: nodes, AttachPerNode: 7, ExtraCollabFactor: 0.5, Seed: seed}), nil
+	case "epinions":
+		return EpinionsLike(EpinionsLikeParams{Nodes: nodes, OutPerNode: 3, BackEdgeProb: 0.3, Seed: seed}), nil
+	case "road":
+		g, _ := RoadNetwork(RoadNetworkParams{Rows: 100, Cols: 100, KeepProb: 0.25, Stores: 100, Seed: seed})
+		return g, nil
+	case "gnm":
+		return GNM(nodes, 3*nodes, false, seed), nil
+	}
+	return nil, fmt.Errorf("gen: unknown graph kind %q (want dblp|epinions|road|gnm)", kind)
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -40,6 +41,10 @@ type StatusError struct {
 	Status int
 	Code   string
 	Msg    string
+	// RetryAfter is the parsed Retry-After header of a 429 response
+	// (zero when absent). A cluster coordinator propagates the maximum
+	// across overloaded shards instead of inventing its own estimate.
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
@@ -131,7 +136,11 @@ func (c *Client) post(ctx context.Context, path string, body, dst any) error {
 		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 			e = errorResponse{Error: "unreadable error body", Code: codeInternal}
 		}
-		return &StatusError{Status: resp.StatusCode, Code: e.Code, Msg: e.Error}
+		se := &StatusError{Status: resp.StatusCode, Code: e.Code, Msg: e.Error}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return se
 	}
 	return json.NewDecoder(resp.Body).Decode(dst)
 }

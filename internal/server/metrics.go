@@ -104,6 +104,13 @@ type Snapshot struct {
 	QueryStats   core.Stats `json:"query_stats"`
 	QueriesOK    int64      `json:"queries_ok"`
 	IndexHitRate float64    `json:"index_hit_rate"`
+
+	// Cluster is the coordinator section — per-shard occupancy, health,
+	// and the scatter-gather latency breakdown — present only when the
+	// backend is a cluster (see cluster.Snapshot for the schema). Typed
+	// any to keep the server free of a cluster dependency; clients decode
+	// it as a generic document.
+	Cluster any `json:"cluster,omitempty"`
 }
 
 // LatencySnapshot reports percentiles over the recent-latency window, in

@@ -41,13 +41,56 @@ import (
 	"rkranks/internal/graph"
 )
 
-// Config configures a Server. Pool is required; everything else defaults
-// to production-sane values.
+// Backend abstracts the query executor behind the HTTP layer: a local
+// core.Pool, or a cluster coordinator that scatters each query across
+// shard backends (internal/cluster). The server is agnostic — admission,
+// deadlines, observability, and drain apply identically to both.
+type Backend interface {
+	QueryContext(ctx context.Context, a core.Algorithm, q int32, k int) (*core.Result, error)
+	QueryManyContext(ctx context.Context, a core.Algorithm, queries []int32, k int) ([]*core.Result, error)
+	// Size is the backend's concurrent-query capacity (engine slots);
+	// admission defaults derive from it.
+	Size() int
+	// Indexed reports whether the backend serves Indexed queries; the
+	// default algorithm derives from it.
+	Indexed() bool
+}
+
+// Optional Backend capabilities, probed with type assertions so the
+// server needs no dependency on internal/cluster:
+//
+//   - interface{ ShardCount() int } extends /healthz with the shard count;
+//   - interface{ ClusterSnapshot() any } extends /statsz with the
+//     per-shard occupancy and scatter-gather latency breakdown;
+//   - error values implementing HTTPStatuser choose their own HTTP
+//     mapping, and RetryAfterHinter additionally sets Retry-After
+//     (cluster overload errors carry the max shard hint).
+type (
+	// HTTPStatuser is implemented by backend errors that map to a
+	// specific HTTP status and wire error code.
+	HTTPStatuser interface {
+		error
+		HTTPStatus() (status int, code string)
+	}
+	// RetryAfterHinter is implemented by backend errors that carry a
+	// Retry-After hint (e.g. the max across overloaded shards).
+	RetryAfterHinter interface {
+		error
+		RetryAfterHint() time.Duration
+	}
+)
+
+// Config configures a Server. One of Backend or Pool is required;
+// everything else defaults to production-sane values.
 type Config struct {
-	// Pool serves the queries. Build it with core.NewPoolWithIndex to make
-	// Indexed the default algorithm over one shared concurrent index.
+	// Backend serves the queries: a core.Pool or a cluster.Coordinator.
+	// When nil, Pool is used.
+	Backend Backend
+	// Pool is the classic single-node backend. Build it with
+	// core.NewPoolWithIndex to make Indexed the default algorithm over
+	// one shared concurrent index. Ignored when Backend is set.
 	Pool *core.Pool
-	// Graph is the pool's graph, used for /healthz metadata and request
+	// Graph is the backend's graph, used for /healthz metadata and request
 	// validation context. Required.
 	Graph *graph.Graph
 
@@ -78,12 +121,19 @@ type Config struct {
 	// AccessLog receives one structured record per request. Nil disables
 	// access logging (metrics still aggregate).
 	AccessLog *slog.Logger
+
+	// HealthExtra is merged into the /healthz document (reserved keys are
+	// not overridden). rkserve uses it to publish its -shard spec so a
+	// cluster coordinator can verify shard ownership at startup instead
+	// of merging overlapping candidate classes silently wrong.
+	HealthExtra map[string]any
 }
 
 // Server is the HTTP serving layer. Create with New, expose via Handler,
 // stop with Drain.
 type Server struct {
 	cfg         Config
+	backend     Backend
 	defaultAlgo core.Algorithm
 	mux         *http.ServeMux
 	started     time.Time
@@ -105,14 +155,18 @@ type Server struct {
 
 // New validates cfg, applies defaults, and returns a ready Server.
 func New(cfg Config) (*Server, error) {
-	if cfg.Pool == nil {
-		return nil, fmt.Errorf("server: Config.Pool is required")
+	backend := cfg.Backend
+	if backend == nil {
+		if cfg.Pool == nil {
+			return nil, fmt.Errorf("server: one of Config.Backend or Config.Pool is required")
+		}
+		backend = cfg.Pool
 	}
 	if cfg.Graph == nil {
 		return nil, fmt.Errorf("server: Config.Graph is required")
 	}
 	if cfg.MaxInFlight <= 0 {
-		cfg.MaxInFlight = 2 * cfg.Pool.Size()
+		cfg.MaxInFlight = 2 * backend.Size()
 	}
 	if cfg.MaxQueue <= 0 {
 		cfg.MaxQueue = 4 * cfg.MaxInFlight
@@ -127,7 +181,7 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxBatch = 1024
 	}
 	defaultAlgo := core.Dynamic
-	if cfg.Pool.Index() != nil {
+	if backend.Indexed() {
 		defaultAlgo = core.Indexed
 	}
 	if cfg.DefaultAlgorithm != "" {
@@ -138,6 +192,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:         cfg,
+		backend:     backend,
 		defaultAlgo: defaultAlgo,
 		mux:         http.NewServeMux(),
 		started:     time.Now(),
@@ -214,6 +269,10 @@ type queryResponse struct {
 	K         int         `json:"k"`
 	Algorithm string      `json:"algorithm"`
 	Entries   []entryJSON `json:"entries"`
+	// Partial marks a degraded cluster answer: one or more shards were
+	// unavailable, so entries owned by them may be missing. Single-node
+	// servers never set it.
+	Partial   bool        `json:"partial,omitempty"`
 	ElapsedMS float64     `json:"elapsed_ms"`
 	Stats     *core.Stats `json:"stats,omitempty"`
 }
@@ -324,7 +383,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
 	defer cancel()
-	res, err := s.cfg.Pool.QueryContext(ctx, algo, req.Q, req.K)
+	res, err := s.backend.QueryContext(ctx, algo, req.Q, req.K)
 	if err != nil {
 		s.queryError(w, r, start, err)
 		return
@@ -365,7 +424,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
 	defer cancel()
-	results, err := s.cfg.Pool.QueryManyContext(ctx, algo, req.Queries, req.K)
+	results, err := s.backend.QueryManyContext(ctx, algo, req.Queries, req.K)
 	if err != nil {
 		s.queryError(w, r, start, err)
 		return
@@ -392,24 +451,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 		state = "draining"
 	}
-	writeJSON(w, status, map[string]any{
+	doc := map[string]any{
 		"status":      state,
 		"uptime_sec":  time.Since(s.started).Seconds(),
 		"graph_nodes": s.cfg.Graph.N(),
 		"graph_edges": s.cfg.Graph.M(),
-		"pool_size":   s.cfg.Pool.Size(),
-		"indexed":     s.cfg.Pool.Index() != nil,
+		"pool_size":   s.backend.Size(),
+		"indexed":     s.backend.Indexed(),
 		"algorithm":   s.defaultAlgo.String(),
-	})
+	}
+	if sc, ok := s.backend.(interface{ ShardCount() int }); ok {
+		doc["shards"] = sc.ShardCount()
+	}
+	for k, v := range s.cfg.HealthExtra {
+		if _, reserved := doc[k]; !reserved {
+			doc[k] = v
+		}
+	}
+	writeJSON(w, status, doc)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.snapshot()
 	snap.UptimeSec = time.Since(s.started).Seconds()
-	snap.PoolSize = s.cfg.Pool.Size()
+	snap.PoolSize = s.backend.Size()
 	snap.InFlight = len(s.inflightSem)
 	snap.Queued = len(s.queueSem)
 	snap.Draining = s.Draining()
+	if cs, ok := s.backend.(interface{ ClusterSnapshot() any }); ok {
+		snap.Cluster = cs.ClusterSnapshot()
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -461,6 +532,7 @@ func toQueryResponse(res *core.Result, algo core.Algorithm, elapsed time.Duratio
 		K:         res.K,
 		Algorithm: algo.String(),
 		Entries:   entries,
+		Partial:   res.Partial,
 		Stats:     &stats,
 	}
 	if elapsed > 0 {
@@ -469,8 +541,14 @@ func toQueryResponse(res *core.Result, algo core.Algorithm, elapsed time.Duratio
 	return resp
 }
 
-// queryError maps an engine/pool error to the wire protocol.
+// queryError maps an engine/pool/cluster error to the wire protocol. A
+// backend error carrying its own HTTP mapping (HTTPStatuser — cluster
+// shard unavailability and aggregated shard overload) wins over the
+// generic classes; its Retry-After hint, if any, is forwarded so a
+// coordinator's 429 tells clients when the slowest shard will admit
+// again instead of this server's own queue estimate.
 func (s *Server) queryError(w http.ResponseWriter, r *http.Request, start time.Time, err error) {
+	var hs HTTPStatuser
 	switch {
 	case errors.Is(err, core.ErrInvalidArgument):
 		s.reject(w, r, start, http.StatusBadRequest, codeInvalidArgument, err.Error())
@@ -478,6 +556,18 @@ func (s *Server) queryError(w http.ResponseWriter, r *http.Request, start time.T
 		s.reject(w, r, start, http.StatusGatewayTimeout, codeDeadlineExceeded, err.Error())
 	case errors.Is(err, context.Canceled):
 		s.reject(w, r, start, 499, codeCanceled, err.Error())
+	case errors.As(err, &hs):
+		status, code := hs.HTTPStatus()
+		var rh RetryAfterHinter
+		if errors.As(err, &rh) {
+			if secs := int(rh.RetryAfterHint() / time.Second); secs > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+			}
+		}
+		if status == http.StatusTooManyRequests {
+			s.metrics.shed()
+		}
+		s.reject(w, r, start, status, code, err.Error())
 	default:
 		s.reject(w, r, start, http.StatusInternalServerError, codeInternal, err.Error())
 	}

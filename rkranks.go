@@ -75,6 +75,17 @@
 // its refinements). cmd/rkserve serves all of this over HTTP with
 // admission control and graceful drain; see the README's "Serving over
 // HTTP".
+//
+// Beyond one process, NewCluster partitions the candidate class into
+// vertex shards — one masked engine pool each — behind a scatter-gather
+// coordinator whose merged results are byte-identical to a single pool's:
+// results are canonical (the minimum k entries by (rank, node id),
+// independent of engine, index state, and pruning order), so each shard's
+// answer certifies a rank floor on everything it withheld and the
+// coordinator fetches only what the merged cutoff cannot exclude.
+// cmd/rkcluster serves the same coordinator over HTTP, with shards
+// in-process or on remote rkserve instances (rkserve -shard i/P); see the
+// README's "Clustered serving".
 package rkranks
 
 import (
@@ -82,6 +93,7 @@ import (
 	"io"
 	"os"
 
+	"rkranks/internal/cluster"
 	"rkranks/internal/core"
 	"rkranks/internal/graph"
 	"rkranks/internal/hub"
@@ -131,6 +143,13 @@ type (
 	// Pool serves queries concurrently (one engine per permit); built with
 	// NewPoolWithIndex it serves Indexed queries against one shared index.
 	Pool = core.Pool
+	// Cluster scatters each query across vertex shards and merges the
+	// answers with rank-floor pruning; results are byte-identical to a
+	// single-node Pool (see NewCluster).
+	Cluster = cluster.Coordinator
+	// Floor is the certified withheld-candidate bound a Result exports
+	// for scatter-gather merging (Result.Floor).
+	Floor = core.Floor
 )
 
 // Algorithm values.
@@ -194,6 +213,54 @@ func NewPool(g *Graph, opts Options, size int) *Pool { return core.NewPool(g, op
 // share).
 func NewPoolWithIndex(g *Graph, opts Options, size int, ix Index) (*Pool, error) {
 	return core.NewPoolWithIndex(g, opts, size, ix)
+}
+
+// ErrShardUnavailable is the typed availability error a Cluster reports
+// when shard backends cannot answer (errors.Is-matchable; wrapped by the
+// per-shard detail errors).
+var ErrShardUnavailable = cluster.ErrShardUnavailable
+
+// ClusterOptions configures NewCluster.
+type ClusterOptions struct {
+	// Shards is the number of vertex shards (>= 1).
+	Shards int
+	// Partitioner assigns vertices to shards: "modulo" (the default) or
+	// "degree" (degree-balanced, better on power-law graphs).
+	Partitioner string
+	// PoolSize sizes each shard's engine pool (<= 0 derives a default).
+	PoolSize int
+	// Index, when non-nil, is ONE concurrency-safe index (from
+	// NewConcurrentIndex / LoadConcurrentIndex) shared by every shard,
+	// enabling Indexed queries cluster-wide exactly like NewPoolWithIndex
+	// does for a single pool.
+	Index Index
+	// Strict refuses queries whenever a shard is unavailable instead of
+	// answering partially (Result.Partial).
+	Strict bool
+	// FirstRoundK overrides the reduced first scatter round's per-shard k
+	// (0 = auto ceil(k/Shards)+2; >= k disables rank-floor pruning).
+	FirstRoundK int
+}
+
+// NewCluster builds an in-process sharded cluster over g: one masked
+// engine pool per vertex shard behind a scatter-gather coordinator whose
+// merged results are byte-identical to a single-node pool's — entries,
+// ranks, and tie-breaks included — while each shard refines only its own
+// candidates. The same coordinator type also fronts remote rkserve shards
+// (see cmd/rkcluster); this constructor covers the in-process topology,
+// the natural first step before splitting shards across machines.
+func NewCluster(g *Graph, opts Options, co ClusterOptions) (*Cluster, error) {
+	if co.Shards < 1 {
+		return nil, fmt.Errorf("rkranks: ClusterOptions.Shards must be >= 1, got %d", co.Shards)
+	}
+	part, err := cluster.ParsePartitioner(co.Partitioner)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.NewLocal(g, opts, part, co.Shards, co.PoolSize, co.Index, cluster.Config{
+		StrictConsistency: co.Strict,
+		FirstRoundK:       co.FirstRoundK,
+	})
 }
 
 // SaveIndex writes a built index (either implementation) to a file; the

@@ -401,3 +401,64 @@ func TestRankUnreachableConstant(t *testing.T) {
 		t.Errorf("Rank = %d, want RankUnreachable", r)
 	}
 }
+
+// TestPublicCluster covers NewCluster: a 4-shard in-process cluster must
+// answer byte-identically to a single engine, flag nothing partial, and
+// serve Indexed queries when given a shared concurrent index.
+func TestPublicCluster(t *testing.T) {
+	g, id := toyGraph()
+	cl, err := rkranks.NewCluster(g, rkranks.Options{}, rkranks.ClusterOptions{
+		Shards: 4, Partitioner: "degree",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := cl.Query(rkranks.Dynamic, id["Alice"], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rkranks.ReverseKRanks(g, id["Alice"], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != len(want) || res.Partial {
+		t.Fatalf("cluster result %+v, want %v", res, want)
+	}
+	for i := range want {
+		if res.Entries[i] != want[i] {
+			t.Fatalf("cluster diverged: %v vs %v", res.Entries, want)
+		}
+	}
+	if f := res.Floor(); f.Exhausted || f.Rank != 4 {
+		t.Errorf("floor = %+v, want witness rank 4", f)
+	}
+
+	ix, err := rkranks.NewConcurrentIndex(g, rkranks.IndexParams{
+		HubFraction: 0.5, RankFraction: 0.5, MaxK: 10, Strategy: rkranks.DegreeHubs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	icl, err := rkranks.NewCluster(g, rkranks.Options{}, rkranks.ClusterOptions{Shards: 2, Index: ix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer icl.Close()
+	ires, err := icl.Query(rkranks.Indexed, id["Alice"], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if ires.Entries[i] != want[i] {
+			t.Fatalf("indexed cluster diverged: %v vs %v", ires.Entries, want)
+		}
+	}
+
+	if _, err := rkranks.NewCluster(g, rkranks.Options{}, rkranks.ClusterOptions{Shards: 0}); err == nil {
+		t.Error("Shards: 0 accepted")
+	}
+	if _, err := rkranks.NewCluster(g, rkranks.Options{}, rkranks.ClusterOptions{Shards: 2, Partitioner: "nope"}); err == nil {
+		t.Error("unknown partitioner accepted")
+	}
+}

@@ -14,10 +14,11 @@
 //   - elapsed_sec: total wall clock of the experiment;
 //   - every numeric metric cell of every table, matched by position, with
 //     the direction inferred from the column header: "QPS", "speedup",
-//     and "achieved" columns regress when they FALL, time/latency/work
-//     columns ("(s)", "(ms)", "refine...", "settled", ...) regress when
-//     they RISE. Identity columns (dataset, k, workers, ...) and cells
-//     below the noise floor are skipped.
+//     "achieved", "goodput"/"q/s", "hit rate", and "coalesce" columns
+//     regress when they FALL, time/latency/work columns ("(s)", "(ms)",
+//     "refine...", "settled", "rpcs", ...) regress when they RISE.
+//     Identity columns (dataset, k, workers, ...) and cells below the
+//     noise floor are skipped.
 //
 // Two gates apply. Work-counter columns are deterministic for a fixed
 // seed and config, so they catch algorithmic regressions
@@ -243,6 +244,16 @@ func columnKind(header string) metricKind {
 		return metricKind{higherBetter: true, floor: minCounter, tracked: true}
 	case strings.Contains(h, "saved"):
 		return metricKind{higherBetter: true, floor: 1, tracked: true}
+	// Cache + batch-scatter columns (serving_batch). Hit rate, coalesce
+	// count, and RPCs-per-query are deterministic for a fixed seed
+	// (sequential batches classify hits and flights in stream order);
+	// goodput is wall clock.
+	case strings.Contains(h, "hit rate"), strings.Contains(h, "coalesce"):
+		return metricKind{higherBetter: true, floor: 1, tracked: true}
+	case strings.Contains(h, "rpcs"):
+		return metricKind{floor: 0.05, tracked: true}
+	case strings.Contains(h, "goodput"), strings.Contains(h, "q/s"):
+		return metricKind{higherBetter: true, floor: minRate, tracked: true, wallClock: true}
 	}
 	return metricKind{}
 }

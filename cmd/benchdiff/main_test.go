@@ -255,3 +255,82 @@ func TestClusterCounterDirections(t *testing.T) {
 		t.Errorf("transfer improvement not reported:\n%s", out)
 	}
 }
+
+func batchReport() report {
+	return report{
+		Experiment: "serving_batch",
+		Scale:      "small",
+		ElapsedSec: 2,
+		Tables: []table{{
+			Title: "batch",
+			Headers: []string{"dataset", "batch", "dup (%)", "goodput (q/s)", "baseline (q/s)",
+				"speedup", "p99 (ms)", "hit rate (%)", "coalesced", "rpcs/query"},
+			Rows: [][]string{
+				{"dblp", "8", "50", "500", "250", "2.00x", "30.00", "43%", "7", "0.58"},
+			},
+		}},
+	}
+}
+
+// TestServingBatchColumnDirections pins the direction-aware gating of
+// the serving_batch columns: hit-rate and coalesce collapse are
+// regressions (higher is better), RPCs-per-query growth is a regression
+// (lower is better), and the wall-clock goodput/p99 columns stay on the
+// lax gate.
+func TestServingBatchColumnDirections(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeReport(t, baseDir, "serving_batch", batchReport())
+
+	// Hit rate collapsing must fail (higher is better).
+	cur := batchReport()
+	cur.Tables[0].Rows[0][7] = "10%"
+	writeReport(t, curDir, "serving_batch", cur)
+	code, out := runDiff(t, baseDir, curDir, "-experiments", "serving_batch")
+	if code != 1 || !strings.Contains(out, "hit rate") {
+		t.Fatalf("hit-rate regression not caught (exit %d):\n%s", code, out)
+	}
+
+	// Coalesced collapsing must fail (higher is better).
+	cur = batchReport()
+	cur.Tables[0].Rows[0][8] = "1"
+	writeReport(t, curDir, "serving_batch", cur)
+	code, out = runDiff(t, baseDir, curDir, "-experiments", "serving_batch")
+	if code != 1 || !strings.Contains(out, "coalesced") {
+		t.Fatalf("coalesce regression not caught (exit %d):\n%s", code, out)
+	}
+
+	// RPCs per query ballooning must fail (lower is better: batch
+	// scatter degraded back toward per-query fan-out).
+	cur = batchReport()
+	cur.Tables[0].Rows[0][9] = "2.00"
+	writeReport(t, curDir, "serving_batch", cur)
+	code, out = runDiff(t, baseDir, curDir, "-experiments", "serving_batch")
+	if code != 1 || !strings.Contains(out, "rpcs/query") {
+		t.Fatalf("rpcs-per-query regression not caught (exit %d):\n%s", code, out)
+	}
+
+	// RPCs per query dropping is an improvement; goodput wobble and p99
+	// noise stay inside the lax wall-clock gate.
+	cur = batchReport()
+	cur.Tables[0].Rows[0][9] = "0.30"
+	cur.Tables[0].Rows[0][3] = "300" // -40% goodput: inside the 100% gate
+	cur.Tables[0].Rows[0][6] = "55.00"
+	writeReport(t, curDir, "serving_batch", cur)
+	code, out = runDiff(t, baseDir, curDir, "-experiments", "serving_batch")
+	if code != 0 {
+		t.Fatalf("lax columns failed the build:\n%s", out)
+	}
+	if !strings.Contains(out, "improved") {
+		t.Errorf("rpcs improvement not reported:\n%s", out)
+	}
+
+	// Under a tightened wall-clock gate, a goodput collapse fails in the
+	// higher-is-better direction.
+	cur = batchReport()
+	cur.Tables[0].Rows[0][3] = "100" // -80%
+	writeReport(t, curDir, "serving_batch", cur)
+	code, out = runDiff(t, baseDir, curDir, "-experiments", "serving_batch", "-time-threshold", "0.5")
+	if code != 1 || !strings.Contains(out, "goodput") {
+		t.Fatalf("goodput collapse not caught (exit %d):\n%s", code, out)
+	}
+}

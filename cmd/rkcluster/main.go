@@ -40,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"rkranks/internal/cache"
 	"rkranks/internal/cluster"
 	"rkranks/internal/core"
 	"rkranks/internal/gen"
@@ -77,6 +78,7 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 		rankFrac   = fs.Float64("index-m", 0.1, "ranked fraction m for -build-index")
 		indexK     = fs.Int("index-k", 100, "max supported k for -build-index")
 
+		cacheMB     = fs.Int("cache-mb", 0, "response cache budget in MiB (0 disables); duplicate in-flight queries coalesce onto one scatter")
 		poolSize    = fs.Int("pool", 0, "engine pool size PER SHARD (0 = GOMAXPROCS-derived)")
 		refine      = fs.Int("refine-workers", 0, "intra-query refine workers per engine")
 		algo        = fs.String("algo", "", "default algorithm (empty = indexed when every shard has an index, else dynamic)")
@@ -113,8 +115,18 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 		slog.Bool("indexed", coord.Indexed()),
 		slog.Bool("strict", *strict))
 
+	var backend server.Backend = coord
+	if *cacheMB > 0 {
+		cached, err := cache.NewBackend(coord, cache.Config{MaxBytes: int64(*cacheMB) << 20})
+		if err != nil {
+			return err
+		}
+		backend = cached
+		logger.Info("response cache enabled", slog.Int("budget_mb", *cacheMB))
+	}
+
 	scfg := server.Config{
-		Backend:          coord,
+		Backend:          backend,
 		Graph:            g,
 		DefaultAlgorithm: *algo,
 		MaxInFlight:      *inflight,

@@ -9,6 +9,7 @@
 //	rkserve -graph dblp.rkg -build-index -index-k 100       # index, then serve Indexed
 //	rkserve -gen dblp -gen-nodes 5000 -addr :8080           # synthetic graph (demos, smoke tests)
 //	rkserve -graph g.rkg -index g.ridx                      # serve a prebuilt index
+//	rkserve -graph g.rkg -cache-mb 64                       # response cache + singleflight coalescing
 //	rkserve -graph g.rkg -shard 0/4                         # serve vertex shard 0 of 4 (see cmd/rkcluster)
 //
 // With -shard i/P the instance answers queries for its own vertex shard
@@ -35,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"rkranks/internal/cache"
 	"rkranks/internal/cluster"
 	"rkranks/internal/core"
 	"rkranks/internal/gen"
@@ -73,6 +75,7 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 		shardSpec = fs.String("shard", "", "serve one vertex shard, as i/P (e.g. 0/4); the coordinator must use the same partitioner and P")
 		shardPart = fs.String("shard-partitioner", "modulo", "partitioner for -shard: modulo|degree")
 
+		cacheMB   = fs.Int("cache-mb", 0, "response cache budget in MiB (0 disables); duplicate in-flight queries coalesce onto one engine permit")
 		poolSize  = fs.Int("pool", 0, "engine pool size (0 = GOMAXPROCS-derived)")
 		refine    = fs.Int("refine-workers", 0, "intra-query refine workers per engine")
 		algo      = fs.String("algo", "", "default algorithm (empty = indexed when an index is loaded, else dynamic)")
@@ -124,8 +127,18 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 	}
 	logger.Info("pool ready", slog.Int("engines", pool.Size()), slog.Bool("indexed", ix != nil))
 
+	var backend server.Backend = pool
+	if *cacheMB > 0 {
+		cached, err := cache.NewBackend(pool, cache.Config{MaxBytes: int64(*cacheMB) << 20})
+		if err != nil {
+			return err
+		}
+		backend = cached
+		logger.Info("response cache enabled", slog.Int("budget_mb", *cacheMB))
+	}
+
 	cfg := server.Config{
-		Pool:             pool,
+		Backend:          backend,
 		Graph:            g,
 		DefaultAlgorithm: *algo,
 		MaxInFlight:      *inflight,

@@ -162,3 +162,67 @@ func TestShardFlagMasksCandidates(t *testing.T) {
 		t.Fatal("server never exited after SIGTERM")
 	}
 }
+
+// TestCacheFlagServesRepeatsFromCache boots rkserve with -cache-mb and
+// asserts a repeated query hits the response cache (the /statsz cache
+// section moves) while answering byte-identically.
+func TestCacheFlagServesRepeatsFromCache(t *testing.T) {
+	logger := slog.New(slog.DiscardHandler)
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-gen", "dblp", "-gen-nodes", "800",
+			"-pool", "1", "-cache-mb", "8", "-access-log=false",
+		}, logger, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	c := server.NewClient("http://" + addr)
+	first, err := c.Query(context.Background(), "dynamic", 5, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Query(context.Background(), "dynamic", 5, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Entries) != len(second.Entries) {
+		t.Fatalf("cached repeat diverged: %v vs %v", first.Entries, second.Entries)
+	}
+	for i := range first.Entries {
+		if first.Entries[i] != second.Entries[i] {
+			t.Fatalf("cached repeat diverged at %d: %v vs %v", i, first.Entries, second.Entries)
+		}
+	}
+	snap, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, ok := snap.Cache.(map[string]any)
+	if !ok {
+		t.Fatalf("statsz has no cache section: %#v", snap.Cache)
+	}
+	if doc["hits"] != float64(1) || doc["misses"] != float64(1) {
+		t.Errorf("cache counters = %v, want one miss then one hit", doc)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}

@@ -1,0 +1,153 @@
+package cache
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"rkranks/internal/core"
+	"rkranks/internal/rank"
+)
+
+// storeResult builds a distinguishable result for store-level tests.
+func storeResult(q int32, entries int) *core.Result {
+	res := &core.Result{Query: q, K: entries}
+	for i := 0; i < entries; i++ {
+		res.Entries = append(res.Entries, rank.Entry{Node: int32(i), Rank: int32(i + 1)})
+	}
+	return res
+}
+
+// TestLRUEvictsOldestWithinBudget: a one-shard cache over a tight byte
+// budget keeps the most recently used entries and its byte gauge under
+// budget.
+func TestLRUEvictsOldestWithinBudget(t *testing.T) {
+	budget := int64(3 * (entryOverhead + 8*4))
+	c := New(Config{MaxBytes: budget, Shards: 1})
+	s := c.shards[0]
+	for q := int32(0); q < 10; q++ {
+		s.mu.Lock()
+		c.insert(s, key{algo: core.Dynamic, q: q, k: 4}, storeResult(q, 4))
+		s.mu.Unlock()
+	}
+	snap := c.Stats()
+	if snap.Bytes > budget {
+		t.Errorf("bytes %d exceed budget %d", snap.Bytes, budget)
+	}
+	if snap.Entries != 3 {
+		t.Errorf("entries = %d, want 3", snap.Entries)
+	}
+	if snap.Evictions != 7 {
+		t.Errorf("evictions = %d, want 7", snap.Evictions)
+	}
+	// The three most recent keys survive; the earliest are gone.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for q := int32(7); q < 10; q++ {
+		if s.lookup(key{algo: core.Dynamic, q: q, k: 4}) == nil {
+			t.Errorf("recent key q=%d evicted", q)
+		}
+	}
+	if s.lookup(key{algo: core.Dynamic, q: 0, k: 4}) != nil {
+		t.Error("oldest key survived over budget")
+	}
+}
+
+// TestLRULookupRefreshesRecency: touching an old entry protects it from
+// the next eviction.
+func TestLRULookupRefreshesRecency(t *testing.T) {
+	budget := int64(2 * (entryOverhead + 8*2))
+	c := New(Config{MaxBytes: budget, Shards: 1})
+	s := c.shards[0]
+	k0 := key{algo: core.Dynamic, q: 0, k: 2}
+	k1 := key{algo: core.Dynamic, q: 1, k: 2}
+	s.mu.Lock()
+	c.insert(s, k0, storeResult(0, 2))
+	c.insert(s, k1, storeResult(1, 2))
+	s.lookup(k0) // refresh: k1 becomes the eviction victim
+	c.insert(s, key{algo: core.Dynamic, q: 2, k: 2}, storeResult(2, 2))
+	if s.lookup(k0) == nil {
+		t.Error("refreshed entry was evicted")
+	}
+	if s.lookup(k1) != nil {
+		t.Error("stale entry survived")
+	}
+	s.mu.Unlock()
+}
+
+// TestOversizedResultNotStored: a result bigger than the shard budget is
+// skipped rather than thrashing the whole shard.
+func TestOversizedResultNotStored(t *testing.T) {
+	c := New(Config{MaxBytes: entryOverhead + 8, Shards: 1})
+	s := c.shards[0]
+	s.mu.Lock()
+	c.insert(s, key{q: 1, k: 100}, storeResult(1, 100))
+	s.mu.Unlock()
+	if snap := c.Stats(); snap.Entries != 0 || snap.Inserts != 0 {
+		t.Errorf("oversized result stored: %+v", snap)
+	}
+}
+
+// TestKeyIncludesAlgorithmAndK: responses never cross algorithm or k
+// boundaries.
+func TestKeyIncludesAlgorithmAndK(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20, Shards: 1})
+	s := c.shards[0]
+	s.mu.Lock()
+	c.insert(s, key{algo: core.Dynamic, q: 1, k: 2}, storeResult(1, 2))
+	if s.lookup(key{algo: core.Static, q: 1, k: 2}) != nil {
+		t.Error("hit across algorithms")
+	}
+	if s.lookup(key{algo: core.Dynamic, q: 1, k: 3}) != nil {
+		t.Error("hit across k")
+	}
+	if s.lookup(key{algo: core.Dynamic, q: 1, k: 2, gen: 1}) != nil {
+		t.Error("hit across generations")
+	}
+	s.mu.Unlock()
+}
+
+// countingTarget serves synthetic results and counts the queries that
+// actually reach it.
+type countingTarget struct {
+	calls   chan int32
+	partial bool
+	err     error
+	block   chan struct{} // non-nil: QueryContext blocks until closed or ctx done
+	ctxErrs chan error    // non-nil: receives the execution ctx's state on unblock
+}
+
+func (c *countingTarget) QueryContext(ctx context.Context, a core.Algorithm, q int32, k int) (*core.Result, error) {
+	if c.calls != nil {
+		c.calls <- q
+	}
+	if c.block != nil {
+		select {
+		case <-c.block:
+		case <-ctx.Done():
+			if c.ctxErrs != nil {
+				c.ctxErrs <- ctx.Err()
+			}
+			return nil, fmt.Errorf("countingTarget: %w", ctx.Err())
+		}
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	return &core.Result{Query: q, K: k, Entries: []rank.Entry{{Node: q + 1, Rank: 1}}, Partial: c.partial}, nil
+}
+
+func (c *countingTarget) QueryManyContext(ctx context.Context, a core.Algorithm, queries []int32, k int) ([]*core.Result, error) {
+	out := make([]*core.Result, len(queries))
+	for i, q := range queries {
+		res, err := c.QueryContext(ctx, a, q, k)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+func (c *countingTarget) Size() int     { return 2 }
+func (c *countingTarget) Indexed() bool { return false }

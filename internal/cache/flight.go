@@ -1,0 +1,79 @@
+package cache
+
+import (
+	"context"
+	"sync/atomic"
+
+	"rkranks/internal/core"
+)
+
+// group is the reference-counted execution context shared by the flights
+// one backend call produces: a single cache miss, or the whole miss set
+// of one batch (which the inner backend serves with ONE QueryManyContext
+// call, so the flights necessarily live and die together).
+//
+// The context is detached from any individual caller (WithoutCancel), so
+// no single waiter's disconnect kills the flight for everyone else.
+// Instead each waiter — the leader included — holds one ticket; a waiter
+// that stops waiting (result delivered, or its own context canceled)
+// releases its ticket, and the group context is canceled only when the
+// last ticket is gone. The engine layer then stops the in-flight
+// traversal and refinements within a bounded number of settles.
+type group struct {
+	ctx     context.Context
+	cancel  context.CancelFunc
+	tickets atomic.Int64
+}
+
+// newGroup derives the detached execution context from the leader's.
+func newGroup(parent context.Context) *group {
+	ctx, cancel := context.WithCancel(context.WithoutCancel(parent))
+	return &group{ctx: ctx, cancel: cancel}
+}
+
+// join takes one waiter ticket.
+func (g *group) join() { g.tickets.Add(1) }
+
+// leave releases one waiter ticket, canceling the execution context when
+// no waiter remains.
+func (g *group) leave() {
+	if g.tickets.Add(-1) == 0 {
+		g.cancel()
+	}
+}
+
+// flight is one in-progress query other callers can coalesce onto. res
+// and err are written exactly once, before done is closed.
+type flight struct {
+	group *group
+	done  chan struct{}
+	res   *core.Result
+	err   error
+}
+
+func newFlight(g *group) *flight {
+	return &flight{group: g, done: make(chan struct{})}
+}
+
+// complete publishes the outcome. The caller must already have removed
+// the flight from its shard's registry (under the shard lock) so no new
+// waiter can join a completed flight.
+func (f *flight) complete(res *core.Result, err error) {
+	f.res, f.err = res, err
+	close(f.done)
+}
+
+// wait blocks until the flight completes or ctx is canceled, releasing
+// the caller's group ticket either way. A follower that gives up mid-
+// flight gets its own context error immediately; the flight keeps
+// running for the remaining waiters.
+func (f *flight) wait(ctx context.Context) (*core.Result, error) {
+	select {
+	case <-f.done:
+		f.group.leave()
+		return f.res, f.err
+	case <-ctx.Done():
+		f.group.leave()
+		return nil, ctx.Err()
+	}
+}

@@ -23,6 +23,11 @@ type ShardBackend interface {
 	// than k means the shard's candidate class is exhausted (the rank
 	// floor the coordinator derives is then vacuous; see core.Floor).
 	Query(ctx context.Context, a core.Algorithm, q int32, k int) (*core.Result, error)
+	// QueryBatch answers many queries in ONE round trip — one result per
+	// query, in input order, each with the same shard-local canonical
+	// semantics as Query. The coordinator's batch scatter leans on it to
+	// spend one RPC per shard per /v1/batch instead of one per query.
+	QueryBatch(ctx context.Context, a core.Algorithm, queries []int32, k int) ([]*core.Result, error)
 	// Size hints how many queries the backend can serve concurrently
 	// (engine slots); the coordinator budgets batch fan-out with it.
 	Size() int
@@ -75,6 +80,16 @@ func (s *LocalShard) Pool() *core.Pool { return s.pool }
 func (s *LocalShard) Query(ctx context.Context, a core.Algorithm, q int32, k int) (*core.Result, error) {
 	return s.pool.QueryContext(ctx, a, q, k)
 }
+
+// QueryBatch implements ShardBackend; concurrency is bounded by the
+// shard's pool size.
+func (s *LocalShard) QueryBatch(ctx context.Context, a core.Algorithm, queries []int32, k int) ([]*core.Result, error) {
+	return s.pool.QueryManyContext(ctx, a, queries, k)
+}
+
+// Generation exposes the shard pool's answer-set generation for response
+// caches keyed on it (see core.Pool.Generation).
+func (s *LocalShard) Generation() uint64 { return s.pool.Generation() }
 
 // Size implements ShardBackend.
 func (s *LocalShard) Size() int { return s.pool.Size() }
@@ -157,17 +172,28 @@ func NewRemoteShard(ctx context.Context, url string, expect RemoteExpect) (*Remo
 func (s *RemoteShard) Query(ctx context.Context, a core.Algorithm, q int32, k int) (*core.Result, error) {
 	resp, err := s.client.Query(ctx, a.String(), q, k, 0)
 	if err != nil {
-		var se *server.StatusError
-		if errors.As(err, &se) {
-			switch se.Status {
-			case http.StatusBadRequest:
-				return nil, fmt.Errorf("cluster: shard %s rejected the request: %s: %w", s.url, se.Msg, core.ErrInvalidArgument)
-			case http.StatusGatewayTimeout:
-				return nil, fmt.Errorf("cluster: shard %s: %s: %w", s.url, se.Msg, context.DeadlineExceeded)
-			}
-		}
-		return nil, err
+		return nil, s.mapError(err)
 	}
+	return wireResult(resp, q, k), nil
+}
+
+// mapError translates a wire error into the typed error the engine layer
+// would have returned in process (see Query's contract).
+func (s *RemoteShard) mapError(err error) error {
+	var se *server.StatusError
+	if errors.As(err, &se) {
+		switch se.Status {
+		case http.StatusBadRequest:
+			return fmt.Errorf("cluster: shard %s rejected the request: %s: %w", s.url, se.Msg, core.ErrInvalidArgument)
+		case http.StatusGatewayTimeout:
+			return fmt.Errorf("cluster: shard %s: %s: %w", s.url, se.Msg, context.DeadlineExceeded)
+		}
+	}
+	return err
+}
+
+// wireResult rebuilds a core.Result from its wire form.
+func wireResult(resp *server.QueryResponse, q int32, k int) *core.Result {
 	entries := make([]rank.Entry, len(resp.Entries))
 	for i, e := range resp.Entries {
 		entries[i] = rank.Entry{Node: e.Node, Rank: e.Rank}
@@ -176,7 +202,25 @@ func (s *RemoteShard) Query(ctx context.Context, a core.Algorithm, q int32, k in
 	if resp.Stats != nil {
 		res.Stats = *resp.Stats
 	}
-	return res, nil
+	return res
+}
+
+// QueryBatch implements ShardBackend with a single /v1/batch round trip,
+// the wire counterpart of the coordinator's batch scatter. Errors map
+// exactly like Query's.
+func (s *RemoteShard) QueryBatch(ctx context.Context, a core.Algorithm, queries []int32, k int) ([]*core.Result, error) {
+	resp, err := s.client.Batch(ctx, a.String(), queries, k, 0)
+	if err != nil {
+		return nil, s.mapError(err)
+	}
+	if len(resp.Results) != len(queries) {
+		return nil, fmt.Errorf("cluster: shard %s answered %d of %d batch queries", s.url, len(resp.Results), len(queries))
+	}
+	out := make([]*core.Result, len(queries))
+	for i := range resp.Results {
+		out[i] = wireResult(&resp.Results[i], queries[i], k)
+	}
+	return out, nil
 }
 
 // Size implements ShardBackend.

@@ -76,6 +76,12 @@ type Config struct {
 	// the serving_cluster experiment compares rank-floor pruning against.
 	NaiveGather bool
 
+	// PerQueryScatter disables batch scatter: QueryManyContext scatters
+	// every query of a batch independently (one RPC per shard PER QUERY,
+	// the pre-batch baseline the serving_batch experiment compares
+	// against) instead of one RPC per shard per batch.
+	PerQueryScatter bool
+
 	// FailureThreshold is how many consecutive failures trip a shard
 	// (<= 0 defaults to 3).
 	FailureThreshold int
@@ -231,6 +237,20 @@ func (c *Coordinator) Indexed() bool {
 		}
 	}
 	return true
+}
+
+// Generation implements the response-cache answer-set-generation probe:
+// the sum of the shard backends' generations (remote shards, which do
+// not expose one, contribute 0). Any shard invalidating its answers
+// moves the sum, orphaning every cached cluster response.
+func (c *Coordinator) Generation() uint64 {
+	var gen uint64
+	for _, b := range c.backends {
+		if gp, ok := b.(interface{ Generation() uint64 }); ok {
+			gen += gp.Generation()
+		}
+	}
+	return gen
 }
 
 // ClusterSnapshot implements the server /statsz probe.
@@ -466,17 +486,27 @@ func (c *Coordinator) QueryMany(a core.Algorithm, queries []int32, k int) ([]*co
 	return c.QueryManyContext(context.Background(), a, queries, k)
 }
 
-// QueryManyContext implements the batch entry point of server.Backend:
-// one scatter-gather per query, pipelined up to the cluster's bottleneck
-// capacity (Size) by the shared core.FanOut loop, results in input
-// order. The first error is returned; remaining queries still run.
+// QueryManyContext implements the batch entry point of server.Backend
+// with batch scatter: ONE RPC per shard carries every query of the batch
+// at the reduced first-round k, each query is merged and certified with
+// the same rank-floor rules as QueryContext, and only the (shard, query)
+// pairs the merge could not certify ride a grouped second round — again
+// at most one RPC per shard. Results are byte-identical to scattering
+// each query alone (see batchScatter), in input order.
+//
+// Config.PerQueryScatter restores the old behavior — one scatter-gather
+// per query, pipelined up to the cluster's bottleneck capacity (Size) by
+// the shared core.FanOut loop — as the comparison baseline.
 func (c *Coordinator) QueryManyContext(ctx context.Context, a core.Algorithm, queries []int32, k int) ([]*core.Result, error) {
 	if err := core.ValidateRequest(a, k); err != nil {
 		return nil, err
 	}
-	return core.FanOut(ctx, c.Size(), queries, func(ctx context.Context, q int32) (*core.Result, error) {
-		return c.QueryContext(ctx, a, q, k)
-	})
+	if c.cfg.PerQueryScatter {
+		return core.FanOut(ctx, c.Size(), queries, func(ctx context.Context, q int32) (*core.Result, error) {
+			return c.QueryContext(ctx, a, q, k)
+		})
+	}
+	return c.batchScatter(ctx, a, queries, k)
 }
 
 var (

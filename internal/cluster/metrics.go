@@ -64,8 +64,13 @@ type metrics struct {
 	shortCircuited int64 // shards settled by their round-1 floor
 	transferred    int64 // result entries moved coordinator-ward
 
+	batches      int64 // batch scatters served
+	batchRPCs    int64 // shard RPCs spent on batch scatters (all rounds)
+	batchQueries int64 // queries carried by batch scatters
+
 	coord    latRing // whole scatter-gather-merge per query
 	maxShard latRing // slowest shard RPC per query
+	batch    latRing // whole batch scatter-merge per batch
 
 	shards []*shardMetrics
 }
@@ -122,6 +127,25 @@ func (m *metrics) observeQuery(elapsed, maxShard time.Duration, transferred, esc
 	}
 }
 
+// observeBatch records one batch scatter's aggregate outcome. The
+// transfer, escalation, and short-circuit units are (shard, query) pairs,
+// the same units the per-query path counts, so the savings columns stay
+// comparable across both scatter modes.
+func (m *metrics) observeBatch(elapsed, maxShard time.Duration, rpcs, queries, transferred, escalated, shortCircuited int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batches++
+	m.batchRPCs += int64(rpcs)
+	m.batchQueries += int64(queries)
+	m.transferred += int64(transferred)
+	m.escalations += int64(escalated)
+	m.shortCircuited += int64(shortCircuited)
+	m.batch.observe(elapsed)
+	if maxShard > 0 {
+		m.maxShard.observe(maxShard)
+	}
+}
+
 // Snapshot is the cluster section of /statsz. Field names are a frozen
 // wire format: add, never rename.
 type Snapshot struct {
@@ -141,12 +165,24 @@ type Snapshot struct {
 	// transferred.
 	ShortCircuited int64 `json:"short_circuited"`
 
+	// Batches counts /v1/batch scatters; BatchRPCs the shard round trips
+	// they spent (all rounds — with no escalations, exactly one per shard
+	// per batch); BatchQueries the queries they carried. BatchRPCs over
+	// BatchQueries is the RPCs-per-query figure batch scatter exists to
+	// shrink (the per-query path spends at least one RPC per shard per
+	// QUERY).
+	Batches      int64 `json:"batches"`
+	BatchRPCs    int64 `json:"batch_rpcs"`
+	BatchQueries int64 `json:"batch_queries"`
+
 	// Coordinator is the full scatter-gather-merge latency;
 	// MaxShard is the slowest shard RPC within each query. The gap
 	// between them is the merge + fan-out overhead the coordinator adds
-	// over its slowest shard.
+	// over its slowest shard. Batch is the whole-batch latency of batch
+	// scatters.
 	Coordinator LatencySnapshot `json:"coordinator_ms"`
 	MaxShard    LatencySnapshot `json:"max_shard_ms"`
+	Batch       LatencySnapshot `json:"batch_ms"`
 
 	Shards []ShardSnapshot `json:"shards"`
 }
@@ -172,8 +208,12 @@ func (m *metrics) snapshot() Snapshot {
 		EntriesTransferred: m.transferred,
 		Escalations:        m.escalations,
 		ShortCircuited:     m.shortCircuited,
+		Batches:            m.batches,
+		BatchRPCs:          m.batchRPCs,
+		BatchQueries:       m.batchQueries,
 		Coordinator:        m.coord.snapshot(),
 		MaxShard:           m.maxShard.snapshot(),
+		Batch:              m.batch.snapshot(),
 		Shards:             make([]ShardSnapshot, len(m.shards)),
 	}
 	m.mu.Unlock()

@@ -25,6 +25,14 @@ import (
 type Pool struct {
 	engines chan *Engine
 	idx     ridx.Index // shared concurrency-safe index, nil for index-free pools
+
+	// Permit accounting: occupied counts engines currently borrowed, peak
+	// is the high-water mark since construction. A response cache sitting
+	// in front of the pool coalesces duplicate queries onto one leader, and
+	// these gauges are how tests (and /statsz readers) verify that N
+	// concurrent duplicates really did admit a single engine permit.
+	occupied atomic.Int64
+	peak     atomic.Int64
 }
 
 // NewPool returns a pool of size engines over g. size <= 0 picks a default
@@ -91,6 +99,38 @@ func (p *Pool) Index() ridx.Index { return p.idx }
 // server.Backend capability probe, shared with cluster coordinators.
 func (p *Pool) Indexed() bool { return p.idx != nil }
 
+// Generation reports the pool's answer-set generation: the shared index's
+// generation counter, or 0 for index-free pools. Response caches key
+// entries on it so a bumped generation (an index swapped or invalidated
+// wholesale) orphans every cached answer computed before the bump.
+// Ordinary query refinements do NOT move it — dictionary updates are
+// monotone exact facts that can never change a canonical result.
+func (p *Pool) Generation() uint64 {
+	if p.idx == nil {
+		return 0
+	}
+	return p.idx.Generation()
+}
+
+// Occupancy returns how many engines are currently borrowed.
+func (p *Pool) Occupancy() int { return int(p.occupied.Load()) }
+
+// PeakOccupancy returns the most engines ever borrowed at once.
+func (p *Pool) PeakOccupancy() int { return int(p.peak.Load()) }
+
+// acquire records an engine borrow; release returns it.
+func (p *Pool) acquire() {
+	n := p.occupied.Add(1)
+	for {
+		peak := p.peak.Load()
+		if n <= peak || p.peak.CompareAndSwap(peak, n) {
+			return
+		}
+	}
+}
+
+func (p *Pool) release() { p.occupied.Add(-1) }
+
 // validate rejects malformed requests at the pool boundary — before an
 // engine permit is consumed — with typed errors (errors.Is against
 // ErrInvalidArgument and its refinements), so servers can map them to
@@ -129,7 +169,11 @@ func (p *Pool) QueryContext(ctx context.Context, a Algorithm, q int32, k int) (*
 			return nil, fmt.Errorf("core: waiting for a pool engine: %w", ctx.Err())
 		}
 	}
-	defer func() { p.engines <- e }()
+	p.acquire()
+	defer func() {
+		p.release()
+		p.engines <- e
+	}()
 	return e.QueryContext(ctx, a, q, k)
 }
 

@@ -244,3 +244,24 @@ func TestQueryManyPropagatesError(t *testing.T) {
 		t.Error("out-of-range query did not error")
 	}
 }
+
+// TestPoolPermitAccounting: the occupancy gauges track borrowed engines —
+// the hook response-cache tests use to prove coalesced duplicates admit
+// one permit.
+func TestPoolPermitAccounting(t *testing.T) {
+	g := gen.GNM(60, 180, false, 9)
+	pool := NewPool(g, Options{}, 3)
+	if pool.Occupancy() != 0 || pool.PeakOccupancy() != 0 {
+		t.Fatalf("fresh pool occupancy = %d peak %d", pool.Occupancy(), pool.PeakOccupancy())
+	}
+	if _, err := pool.QueryMany(Dynamic, []int32{1, 2, 3, 4, 5, 6}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.Occupancy(); got != 0 {
+		t.Errorf("idle pool occupancy = %d, want 0", got)
+	}
+	peak := pool.PeakOccupancy()
+	if peak < 1 || peak > 3 {
+		t.Errorf("peak occupancy = %d, want within [1, pool size 3]", peak)
+	}
+}

@@ -146,11 +146,12 @@ func runBatch(e *core.Engine, algo core.Algorithm, queries []int32, k int) (batc
 }
 
 // Experiment names, in paper order; "serving", "latency", "serving_http",
-// and "serving_cluster" extend the paper's evaluation with the
-// pooled-concurrency throughput study, the intra-query parallel
-// refinement latency study, the HTTP serving-stack load sweep, and the
+// "serving_cluster", and "serving_batch" extend the paper's evaluation
+// with the pooled-concurrency throughput study, the intra-query parallel
+// refinement latency study, the HTTP serving-stack load sweep, the
 // sharded scatter-gather study (rank-floor pruning vs naive gather
-// across shard counts, through internal/cluster).
+// across shard counts, through internal/cluster), and the batch-scatter
+// plus response-cache study (internal/cache over internal/cluster).
 var names = []string{
 	"table3", "table4", "figure5",
 	"figure6", "naive",
@@ -162,6 +163,7 @@ var names = []string{
 	"latency",
 	"serving_http",
 	"serving_cluster",
+	"serving_batch",
 }
 
 // Names lists all experiment identifiers in paper order.
@@ -227,6 +229,9 @@ func (r *Runner) Run(name string) ([]*stats.Table, error) {
 		return wrap(t), err
 	case "serving_cluster":
 		t, err := r.ServingCluster()
+		return wrap(t), err
+	case "serving_batch":
+		t, err := r.ServingBatch()
 		return wrap(t), err
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, names)

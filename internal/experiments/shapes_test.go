@@ -287,3 +287,43 @@ func TestServingHTTPShape(t *testing.T) {
 		}
 	}
 }
+
+// TestServingBatchShape: the batch+cache sweep produces well-formed rows
+// whose deterministic columns behave — zero hits without duplicates, a
+// substantial hit rate at 50% duplicates, and fewer batch RPCs per query
+// than the shard count (the whole point of batch scatter). Wall-clock
+// columns (goodput, speedup, p99) are only checked to parse: their
+// magnitudes depend on the host.
+func TestServingBatchShape(t *testing.T) {
+	cfg := Small()
+	cfg.Queries = 6 // 48-query streams keep the sweep fast under -race
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := r.ServingBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (2 batch sizes x 2 duplicate rates)", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		dup := cellFloat(t, row[2])
+		hit := cellFloat(t, row[7])
+		rpcs := cellFloat(t, row[9])
+		speedup := cellFloat(t, strings.TrimSuffix(row[5], "x"))
+		if cellFloat(t, row[3]) <= 0 || cellFloat(t, row[4]) <= 0 || speedup <= 0 {
+			t.Errorf("row %v: non-positive wall-clock cells", row)
+		}
+		if dup == 0 && hit != 0 {
+			t.Errorf("row %v: hits without duplicates", row)
+		}
+		if dup == 50 && hit < 20 {
+			t.Errorf("row %v: hit rate %v%% too low for 50%% duplicates", row, hit)
+		}
+		if rpcs >= 2 {
+			t.Errorf("row %v: %v RPCs per query — batch scatter saved nothing over one-per-shard-per-query", row, rpcs)
+		}
+	}
+}

@@ -89,6 +89,15 @@ type Index interface {
 	// multiple engines (true only for ShardedIndex). Pools require it
 	// before accepting Indexed queries.
 	Concurrent() bool
+	// Generation is the index's answer-set generation, starting at 0.
+	// Ordinary refinement (Offer/RaiseCheck) never moves it: dictionary
+	// updates are monotone exact facts, so canonical query results are
+	// identical before and after them. BumpGeneration moves it when the
+	// index is invalidated or replaced wholesale — response caches key
+	// cached answers on the generation so a bump orphans them all.
+	Generation() uint64
+	// BumpGeneration advances Generation (see there).
+	BumpGeneration()
 }
 
 // SerialIndex is the single-goroutine Index implementation. It is not safe
@@ -100,6 +109,7 @@ type SerialIndex struct {
 	hubs  []int32
 	check []int32
 	rrd   [][]rank.Entry
+	gen   uint64
 }
 
 // New returns an empty serial index over n nodes supporting reverse
@@ -220,6 +230,12 @@ func (ix *SerialIndex) N() int { return len(ix.check) }
 // Concurrent reports that a SerialIndex must not be shared between
 // goroutines.
 func (ix *SerialIndex) Concurrent() bool { return false }
+
+// Generation returns the answer-set generation (see Index.Generation).
+func (ix *SerialIndex) Generation() uint64 { return ix.gen }
+
+// BumpGeneration advances the answer-set generation.
+func (ix *SerialIndex) BumpGeneration() { ix.gen++ }
 
 // Check returns the Check Dictionary bound for u (0 when u was never the
 // source of a recorded search).

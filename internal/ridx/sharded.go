@@ -43,6 +43,7 @@ type ShardedIndex struct {
 	// immutable.
 	rrd [][]rank.Entry
 	mu  [stripeCount]sync.RWMutex
+	gen atomic.Uint64
 }
 
 // NewSharded returns an empty concurrency-safe index over n nodes
@@ -97,6 +98,15 @@ func (ix *ShardedIndex) N() int { return len(ix.check) }
 // Concurrent reports that a ShardedIndex may be shared freely between
 // goroutines.
 func (ix *ShardedIndex) Concurrent() bool { return true }
+
+// Generation returns the answer-set generation (see Index.Generation).
+func (ix *ShardedIndex) Generation() uint64 { return ix.gen.Load() }
+
+// BumpGeneration advances the answer-set generation. Call it after an
+// operation that could change what queries answer (an index swapped in
+// from disk over live traffic, a wholesale invalidation); plain Offer /
+// RaiseCheck refinement never requires one.
+func (ix *ShardedIndex) BumpGeneration() { ix.gen.Add(1) }
 
 // Check returns the Check Dictionary bound for u. The bound is certified
 // at the moment of the load; it can only grow afterwards, so acting on a

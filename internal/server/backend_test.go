@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"rkranks/internal/cache"
 	"rkranks/internal/core"
 	"rkranks/internal/rank"
 	tg "rkranks/internal/testgraphs"
@@ -219,4 +220,59 @@ func mustDecode(t *testing.T, resp *http.Response) map[string]any {
 		t.Fatal(err)
 	}
 	return doc
+}
+
+// TestCachedBackendProbesThroughDecorator: wrapping a cluster-shaped
+// backend in the response cache keeps the cluster probes working (they
+// walk the Unwrap chain) and adds the cache section to /statsz with
+// moving hit counters.
+func TestCachedBackendProbesThroughDecorator(t *testing.T) {
+	inner := &fakeBackend{shards: 3, cluster: map[string]any{"queries": 7}}
+	cached, err := cache.NewBackend(inner, cache.Config{MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newBackendServer(t, cached)
+
+	resp := postQuery(t, ts.URL, `{"algorithm":"dynamic","q":1,"k":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first query status %d", resp.StatusCode)
+	}
+	resp = postQuery(t, ts.URL, `{"algorithm":"dynamic","q":1,"k":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat query status %d", resp.StatusCode)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var health map[string]any
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["shards"] != float64(3) {
+		t.Errorf("healthz shards through cache decorator = %v, want 3", health["shards"])
+	}
+
+	sresp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(sresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap.Cluster.(map[string]any); !ok {
+		t.Errorf("cluster section lost behind the cache decorator: %#v", snap.Cluster)
+	}
+	doc, ok := snap.Cache.(map[string]any)
+	if !ok {
+		t.Fatalf("statsz cache section = %#v", snap.Cache)
+	}
+	if doc["hits"] != float64(1) || doc["misses"] != float64(1) {
+		t.Errorf("cache counters = hits %v misses %v, want 1/1", doc["hits"], doc["misses"])
+	}
 }

@@ -111,6 +111,11 @@ type Snapshot struct {
 	// any to keep the server free of a cluster dependency; clients decode
 	// it as a generic document.
 	Cluster any `json:"cluster,omitempty"`
+
+	// Cache is the response-cache section — hit/coalesce/eviction
+	// counters and byte occupancy — present only when the backend is
+	// wrapped in a cache decorator (see cache.Snapshot for the schema).
+	Cache any `json:"cache,omitempty"`
 }
 
 // LatencySnapshot reports percentiles over the recent-latency window, in

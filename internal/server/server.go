@@ -57,11 +57,16 @@ type Backend interface {
 }
 
 // Optional Backend capabilities, probed with type assertions so the
-// server needs no dependency on internal/cluster:
+// server needs no dependency on internal/cluster or internal/cache:
 //
 //   - interface{ ShardCount() int } extends /healthz with the shard count;
 //   - interface{ ClusterSnapshot() any } extends /statsz with the
 //     per-shard occupancy and scatter-gather latency breakdown;
+//   - interface{ CacheSnapshot() any } extends /statsz with the response
+//     cache's hit/coalesce/eviction counters and byte occupancy;
+//   - interface{ Unwrap() any } marks a decorator (the response cache):
+//     probes walk the chain, so a cached cluster still reports its
+//     shards;
 //   - error values implementing HTTPStatuser choose their own HTTP
 //     mapping, and RetryAfterHinter additionally sets Retry-After
 //     (cluster overload errors carry the max shard hint).
@@ -460,7 +465,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"indexed":     s.backend.Indexed(),
 		"algorithm":   s.defaultAlgo.String(),
 	}
-	if sc, ok := s.backend.(interface{ ShardCount() int }); ok {
+	if sc, ok := probeBackend[interface{ ShardCount() int }](s.backend); ok {
 		doc["shards"] = sc.ShardCount()
 	}
 	for k, v := range s.cfg.HealthExtra {
@@ -478,10 +483,31 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	snap.InFlight = len(s.inflightSem)
 	snap.Queued = len(s.queueSem)
 	snap.Draining = s.Draining()
-	if cs, ok := s.backend.(interface{ ClusterSnapshot() any }); ok {
+	if cs, ok := probeBackend[interface{ ClusterSnapshot() any }](s.backend); ok {
 		snap.Cluster = cs.ClusterSnapshot()
 	}
+	if cs, ok := probeBackend[interface{ CacheSnapshot() any }](s.backend); ok {
+		snap.Cache = cs.CacheSnapshot()
+	}
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// probeBackend asserts a capability against a backend, walking Unwrap
+// decorator chains (a response cache around a cluster coordinator still
+// answers the cluster probes). The outermost implementation wins.
+func probeBackend[T any](b any) (T, bool) {
+	for b != nil {
+		if t, ok := b.(T); ok {
+			return t, true
+		}
+		u, ok := b.(interface{ Unwrap() any })
+		if !ok {
+			break
+		}
+		b = u.Unwrap()
+	}
+	var zero T
+	return zero, false
 }
 
 // --- helpers ------------------------------------------------------------

@@ -93,6 +93,7 @@ import (
 	"io"
 	"os"
 
+	"rkranks/internal/cache"
 	"rkranks/internal/cluster"
 	"rkranks/internal/core"
 	"rkranks/internal/graph"
@@ -150,6 +151,15 @@ type (
 	// Floor is the certified withheld-candidate bound a Result exports
 	// for scatter-gather merging (Result.Floor).
 	Floor = core.Floor
+	// CachedBackend decorates a Pool or Cluster with a response cache and
+	// singleflight coalescing (see NewCachedBackend).
+	CachedBackend = cache.Backend
+	// QueryBackend is the query surface CachedBackend decorates; Pool and
+	// Cluster both satisfy it.
+	QueryBackend = cache.Target
+	// CacheSnapshot reports a response cache's counters
+	// (CachedBackend.Cache().Stats()).
+	CacheSnapshot = cache.Snapshot
 )
 
 // Algorithm values.
@@ -260,6 +270,38 @@ func NewCluster(g *Graph, opts Options, co ClusterOptions) (*Cluster, error) {
 	return cluster.NewLocal(g, opts, part, co.Shards, co.PoolSize, co.Index, cluster.Config{
 		StrictConsistency: co.Strict,
 		FirstRoundK:       co.FirstRoundK,
+	})
+}
+
+// CacheOptions configures NewCachedBackend.
+type CacheOptions struct {
+	// MaxMB is the cache-wide budget in MiB (>= 1). The cache stores
+	// canonical results only, so its answers are byte-identical to the
+	// backend recomputing them — even while a shared dynamic index keeps
+	// refining (see the cache package docs).
+	MaxMB int
+	// Shards overrides the cache's lock-shard count (0 picks a default).
+	Shards int
+}
+
+// NewCachedBackend wraps a Pool or Cluster with a byte-budgeted response
+// cache plus singleflight coalescing: repeated queries answer from
+// memory, and concurrent duplicates admit ONE engine permit while the
+// followers wait on the leader's canonical result. The wrapper serves
+// the same query surface as what it wraps, so it drops in anywhere a
+// Pool or Cluster was used (including server configurations; rkserve and
+// rkcluster expose it as -cache-mb):
+//
+//	pool, _ := rkranks.NewPoolWithIndex(g, rkranks.Options{}, 0, ix)
+//	cached, _ := rkranks.NewCachedBackend(pool, rkranks.CacheOptions{MaxMB: 64})
+//	res, _ := cached.QueryContext(ctx, rkranks.Indexed, q, 10)
+func NewCachedBackend(backend QueryBackend, opts CacheOptions) (*CachedBackend, error) {
+	if opts.MaxMB < 1 {
+		return nil, fmt.Errorf("rkranks: CacheOptions.MaxMB must be >= 1, got %d", opts.MaxMB)
+	}
+	return cache.NewBackend(backend, cache.Config{
+		MaxBytes: int64(opts.MaxMB) << 20,
+		Shards:   opts.Shards,
 	})
 }
 

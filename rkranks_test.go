@@ -1,6 +1,7 @@
 package rkranks_test
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -460,5 +461,58 @@ func TestPublicCluster(t *testing.T) {
 	}
 	if _, err := rkranks.NewCluster(g, rkranks.Options{}, rkranks.ClusterOptions{Shards: 2, Partitioner: "nope"}); err == nil {
 		t.Error("unknown partitioner accepted")
+	}
+}
+
+// TestPublicCachedBackend: the cache decorator wraps both a Pool and a
+// Cluster through the public API, answers byte-identically on repeats,
+// and reports its counters.
+func TestPublicCachedBackend(t *testing.T) {
+	g, id := toyGraph()
+	pool := rkranks.NewPool(g, rkranks.Options{}, 2)
+	cached, err := rkranks.NewCachedBackend(pool, rkranks.CacheOptions{MaxMB: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := id["Alice"]
+	first, err := cached.QueryContext(context.Background(), rkranks.Dynamic, q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cached.QueryContext(context.Background(), rkranks.Dynamic, q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first.Entries {
+		if first.Entries[i] != second.Entries[i] {
+			t.Fatalf("cached repeat diverged: %v vs %v", first.Entries, second.Entries)
+		}
+	}
+	snap := cached.Cache().Stats()
+	if snap.Hits != 1 || snap.Misses != 1 {
+		t.Errorf("cache stats = %+v, want one miss then one hit", snap)
+	}
+
+	cl, err := rkranks.NewCluster(g, rkranks.Options{}, rkranks.ClusterOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cachedCluster, err := rkranks.NewCachedBackend(cl, rkranks.CacheOptions{MaxMB: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cachedCluster.QueryContext(context.Background(), rkranks.Dynamic, q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first.Entries {
+		if res.Entries[i] != first.Entries[i] {
+			t.Fatalf("cached cluster diverged from pool: %v vs %v", res.Entries, first.Entries)
+		}
+	}
+
+	if _, err := rkranks.NewCachedBackend(pool, rkranks.CacheOptions{}); err == nil {
+		t.Error("MaxMB: 0 accepted")
 	}
 }

@@ -234,6 +234,14 @@ func columnKind(header string) metricKind {
 	case strings.Contains(h, "refine"), strings.Contains(h, "settled"),
 		strings.Contains(h, "pruned"), strings.Contains(h, "visited"):
 		return metricKind{floor: minCounter, tracked: true}
+	// Steady-state allocation cost per query (latency experiment): lower
+	// is better. Near-deterministic — the arena and stamped-array reuse
+	// pin the hot path, and the floors absorb the residual runtime noise
+	// (background timer/GC bookkeeping caught by the ReadMemStats window).
+	case strings.Contains(h, "allocs/"):
+		return metricKind{floor: 2, tracked: true}
+	case strings.Contains(h, "bytes/"):
+		return metricKind{floor: 512, tracked: true}
 	// Cluster scatter-gather counters (serving_cluster): deterministic
 	// shard-work metrics. Entries moved and escalation rounds regress
 	// when they RISE; shards short-circuited by their rank floor and the

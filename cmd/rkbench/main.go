@@ -45,10 +45,18 @@ import (
 
 // jsonReport is the machine-readable form of one experiment's output.
 type jsonReport struct {
-	Experiment string         `json:"experiment"`
-	Scale      string         `json:"scale"`
-	ElapsedSec float64        `json:"elapsed_sec"`
-	Tables     []*stats.Table `json:"tables"`
+	Experiment string  `json:"experiment"`
+	Scale      string  `json:"scale"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// AllocsPerQuery / BytesPerQuery summarize the steady-state allocation
+	// cost of the warm batch-serving hot path at this scale, measured once
+	// per invocation (experiments.Runner.SteadyStateAllocs); nil in
+	// load-generator mode. The per-sweep-point breakdown lives in the
+	// latency experiment's allocs/query and bytes/query columns, which is
+	// where benchdiff gates it.
+	AllocsPerQuery *float64       `json:"allocs_per_query,omitempty"`
+	BytesPerQuery  *float64       `json:"bytes_per_query,omitempty"`
+	Tables         []*stats.Table `json:"tables"`
 }
 
 func main() {
@@ -142,6 +150,17 @@ func run(args []string, stdout io.Writer) error {
 	if *exp == "all" {
 		names = experiments.Names()
 	}
+	var allocsPQ, bytesPQ *float64
+	if *jsonOut {
+		// One steady-state allocation sample per invocation, stamped into
+		// every report written below.
+		a, b, err := runner.SteadyStateAllocs()
+		if err != nil {
+			return fmt.Errorf("steady-state alloc probe: %w", err)
+		}
+		allocsPQ, bytesPQ = &a, &b
+		fmt.Fprintf(stdout, "steady state: %.2f allocs/query, %.1f bytes/query\n", a, b)
+	}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		start := time.Now()
@@ -157,7 +176,7 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 		if *jsonOut {
-			if err := writeJSON(name, *scale, elapsed, tables); err != nil {
+			if err := writeJSON(name, *scale, elapsed, tables, allocsPQ, bytesPQ); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		}
@@ -167,12 +186,14 @@ func run(args []string, stdout io.Writer) error {
 
 // writeJSON records one experiment's tables as BENCH_<name>.json in the
 // working directory.
-func writeJSON(name, scale string, elapsed time.Duration, tables []*stats.Table) error {
+func writeJSON(name, scale string, elapsed time.Duration, tables []*stats.Table, allocsPQ, bytesPQ *float64) error {
 	report := jsonReport{
-		Experiment: name,
-		Scale:      scale,
-		ElapsedSec: elapsed.Seconds(),
-		Tables:     tables,
+		Experiment:     name,
+		Scale:          scale,
+		ElapsedSec:     elapsed.Seconds(),
+		AllocsPerQuery: allocsPQ,
+		BytesPerQuery:  bytesPQ,
+		Tables:         tables,
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -246,7 +267,7 @@ func runLoadGen(stdout io.Writer, p loadGenParams) error {
 		return err
 	}
 	if p.jsonOut {
-		return writeJSON("loadgen", "live", time.Since(start), []*stats.Table{t})
+		return writeJSON("loadgen", "live", time.Since(start), []*stats.Table{t}, nil, nil)
 	}
 	return nil
 }

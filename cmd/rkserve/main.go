@@ -85,6 +85,7 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 		maxTO     = fs.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
 		drainTO   = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 		accessLog = fs.Bool("access-log", true, "emit structured access logs")
+		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (see CONTRIBUTING.md)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -146,6 +147,7 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 		DefaultTimeout:   *timeout,
 		MaxTimeout:       *maxTO,
 		HealthExtra:      healthExtra,
+		EnablePprof:      *pprofOn,
 	}
 	if *accessLog {
 		cfg.AccessLog = logger

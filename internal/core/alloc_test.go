@@ -22,7 +22,7 @@ func TestSteadyStateAllocations(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		const perQueryBudget = 16 // Result struct + sorted entries copy + slack
+		const perQueryBudget = 2 // Result struct + sorted entries copy, nothing else
 		avg := testing.AllocsPerRun(20, func() {
 			if _, err := e.Query(Dynamic, 25, 10); err != nil {
 				t.Fatal(err)
@@ -31,5 +31,33 @@ func TestSteadyStateAllocations(t *testing.T) {
 		if avg > perQueryBudget {
 			t.Errorf("workers=%d: steady-state allocations per query = %.1f, budget %d", workers, avg, perQueryBudget)
 		}
+	}
+}
+
+// TestBatchAllocations: in batch mode the per-query Result and entry
+// allocations are amortized away by the arena's chunked slabs, so a warm
+// batch averages well under one allocation per query.
+func TestBatchAllocations(t *testing.T) {
+	g := gen.DBLPLike(gen.DBLPLikeParams{Nodes: 2000, AttachPerNode: 5, Seed: 5})
+	e := NewEngine(g, Options{})
+	qs := make([]int32, 100)
+	for i := range qs {
+		qs[i] = int32(i % 40)
+	}
+	run := func() {
+		e.BeginBatch()
+		defer e.EndBatch()
+		for _, q := range qs {
+			if _, err := e.Query(Dynamic, q, 10); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run() // warm up scratch high-water marks
+	avg := testing.AllocsPerRun(5, run) / float64(len(qs))
+	// Chunked slabs: ~len(qs)/arenaResultChunk Result chunks plus entry
+	// chunks per batch, amortizing to a fraction of an alloc per query.
+	if avg > 0.5 {
+		t.Errorf("batch steady-state allocations per query = %.2f, want < 0.5", avg)
 	}
 }

@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"rkranks/internal/graph"
+	"rkranks/internal/rank"
 	"rkranks/internal/ridx"
 	"rkranks/internal/sssp"
 )
@@ -50,6 +52,12 @@ type Engine struct {
 	stats Stats
 	q     int32
 	k     int
+
+	// arena is the shared-traversal batch scratch, non-nil only between
+	// BeginBatch/EndBatch (see batchexec.go). batch retains the allocation
+	// across batches so a pool slot's arena is built once.
+	arena *batchArena
+	batch *batchArena
 
 	tracing  bool
 	traceLog []TraceEvent
@@ -317,8 +325,20 @@ func (e *Engine) offer(node, r int32) bool {
 	return e.heap.offer(node, r)
 }
 
-// finish assembles the Result.
+// finish assembles the Result. In batch mode the Result and its entries
+// come from the arena's chunked slabs — one allocation per chunk instead
+// of two per query — because results escape to the caller and must not
+// alias engine scratch.
 func (e *Engine) finish() *Result {
+	if a := e.arena; a != nil {
+		var entries []rank.Entry // nil when empty, like sorted()
+		if n := e.heap.len(); n > 0 {
+			entries = e.heap.sortedInto(a.entryBuf(n))
+		}
+		res := a.newResult()
+		*res = Result{Query: e.q, K: e.k, Entries: entries, Stats: e.stats, Trace: e.traceLog}
+		return res
+	}
 	return &Result{Query: e.q, K: e.k, Entries: e.heap.sorted(), Stats: e.stats, Trace: e.traceLog}
 }
 
@@ -367,8 +387,49 @@ func (e *Engine) settleRefined(v int32, d float64, bound int32, exact bool) {
 // exact=false (kRank abort), or rank.Unreachable when p cannot reach q.
 func (e *Engine) refine(p int32, dpq float64, seq int32) (bound int32, exact bool) {
 	e.stats.Refinements++
+	kRank := e.heap.kRank()
+	if a := e.arena; a != nil {
+		// Batch mode: try to resolve this refinement from a settle log a
+		// previous query in the batch stored for p. A successful replay
+		// yields the decision triple and log prefix a fresh serial run
+		// would have produced byte-for-byte (see batchexec.go), so the
+		// applied side effects are identical; only RefineSettled differs
+		// (a replay settles nothing — like the speculative pipeline, the
+		// effort counters describe work actually performed).
+		cut := refineCutoff(dpq, e.opts.DisableDistanceCutoff)
+		if out, log, ok := a.replay(p, e.q, dpq, cut, kRank); ok {
+			a.shared++
+			e.stats.SharedTraversals++
+			if out.aborted {
+				e.stats.RefineAborted++
+			}
+			e.applyRefineLog(p, log, out.bound, out.exact, out.stopLevel, seq)
+			return out.bound, out.exact
+		}
+	}
+	if a := e.arena; a != nil && a.hot(p) {
+		// Hot candidate: the batch keeps missing p's stored coverage, so
+		// settle its whole component once. The complete log answers this
+		// refinement (scanSettleLog with this query's stop rules — the
+		// exact decision a bounded run would reach) and, once stored,
+		// every later refinement of p in the batch.
+		var out refineResult
+		out, e.scratch = e.rf.runExhaustive(p, e.scratch[:0])
+		e.stats.RefineSettled += out.settled
+		if out.stopped {
+			return 0, false
+		}
+		a.store(p, math.Inf(1), true, e.scratch)
+		cut := refineCutoff(dpq, e.opts.DisableDistanceCutoff)
+		res, log, _ := scanSettleLog(e.scratch, e.q, cut, kRank, true, math.Inf(1))
+		if res.aborted {
+			e.stats.RefineAborted++
+		}
+		e.applyRefineLog(p, log, res.bound, res.exact, res.stopLevel, seq)
+		return res.bound, res.exact
+	}
 	var out refineResult
-	out, e.scratch = e.rf.run(p, dpq, e.heap.kRank(), nil, nil, e.scratch[:0])
+	out, e.scratch = e.rf.run(p, dpq, kRank, nil, nil, e.scratch[:0])
 	e.stats.RefineSettled += out.settled
 	if out.stopped {
 		// The query's context was canceled mid-refinement: the truncated
@@ -380,6 +441,11 @@ func (e *Engine) refine(p int32, dpq float64, seq int32) (bound int32, exact boo
 	}
 	if out.aborted {
 		e.stats.RefineAborted++
+	}
+	if a := e.arena; a != nil {
+		a.spend(p, out.settled)
+		exhausted := !out.exact && !out.aborted
+		a.store(p, refineCutoff(dpq, e.opts.DisableDistanceCutoff), exhausted, e.scratch)
 	}
 	e.applyRefineLog(p, e.scratch, out.bound, out.exact, out.stopLevel, seq)
 	return out.bound, out.exact

@@ -24,6 +24,7 @@ import (
 // whole pool.
 type Pool struct {
 	engines chan *Engine
+	g       *graph.Graph
 	idx     ridx.Index // shared concurrency-safe index, nil for index-free pools
 
 	// Permit accounting: occupied counts engines currently borrowed, peak
@@ -77,7 +78,7 @@ func newPool(g *graph.Graph, opts Options, size int, ix ridx.Index) *Pool {
 			size = 1
 		}
 	}
-	p := &Pool{engines: make(chan *Engine, size), idx: ix}
+	p := &Pool{engines: make(chan *Engine, size), g: g, idx: ix}
 	for i := 0; i < size; i++ {
 		e := NewEngine(g, opts)
 		if ix != nil {
@@ -90,6 +91,12 @@ func newPool(g *graph.Graph, opts Options, size int, ix ridx.Index) *Pool {
 
 // Size returns the number of engines in the pool.
 func (p *Pool) Size() int { return cap(p.engines) }
+
+// CSRBytes reports the memory footprint of the packed CSR views every
+// engine in the pool traverses (they share one copy per graph — see
+// graph.Packed). 0 until a query has forced the views to build. The
+// serving layer probes this capability for /statsz.
+func (p *Pool) CSRBytes() int64 { return p.g.CSRBytes() }
 
 // Index returns the shared index, or nil for an index-free pool.
 func (p *Pool) Index() ridx.Index { return p.idx }
@@ -190,13 +197,81 @@ func (p *Pool) QueryMany(a Algorithm, queries []int32, k int) ([]*Result, error)
 // once up front (typed errors, nothing runs on a malformed request); after
 // cancellation, queries not yet started are skipped and the context error
 // is returned.
+//
+// Execution is engine-affine: each worker borrows one engine for its whole
+// share of the batch (instead of per query) and brackets it with
+// BeginBatch/EndBatch, so consecutive queries on that engine share
+// refinement traversal work through the engine's arena (batchexec.go) and
+// assemble results from chunked slabs. Results are byte-identical to the
+// per-query path — replays reproduce serial refinements exactly — which is
+// what lets cluster.LocalShard.QueryBatch inherit the sharing for free.
 func (p *Pool) QueryManyContext(ctx context.Context, a Algorithm, queries []int32, k int) ([]*Result, error) {
 	if err := p.validate(a, k); err != nil {
 		return nil, err
 	}
-	return FanOut(ctx, p.Size(), queries, func(ctx context.Context, q int32) (*Result, error) {
-		return p.QueryContext(ctx, a, q, k)
-	})
+	results := make([]*Result, len(queries))
+	workers := p.Size()
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var e *Engine
+			select {
+			case e = <-p.engines:
+			default:
+				select {
+				case e = <-p.engines:
+				case <-ctx.Done():
+					setErr(fmt.Errorf("core: waiting for a pool engine: %w", ctx.Err()))
+					return
+				}
+			}
+			p.acquire()
+			e.BeginBatch()
+			defer func() {
+				e.EndBatch()
+				p.release()
+				p.engines <- e
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				res, err := e.QueryContext(ctx, a, queries[i], k)
+				if err != nil {
+					setErr(err)
+					if ctx.Err() != nil {
+						return // canceled: stop pulling new queries
+					}
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
 }
 
 // FanOut evaluates query for every element of queries on at most workers

@@ -34,7 +34,10 @@ type refiner struct {
 }
 
 func newRefiner(g *graph.Graph) *refiner {
-	return &refiner{ref: sssp.New(g)}
+	// The refinement loop only consumes settle order and distances, never
+	// the shortest-path tree, so the lite search (no parent/depth writes)
+	// is safe and shaves a store off every successful relaxation.
+	return &refiner{ref: sssp.NewLite(g)}
 }
 
 // prepare binds the refiner to one query's parameters. In parallel mode
@@ -45,6 +48,17 @@ func (r *refiner) prepare(q int32, counted []bool, noCut bool, stop *atomic.Bool
 	r.counted = counted
 	r.noCut = noCut
 	r.stop = stop
+}
+
+// refineCutoff derives the push bound a refinement uses from the known
+// d(p, q): the ulp-inflated cutoff, or +Inf when distance cutoffs are
+// disabled. Shared between the search itself (run) and the batch arena's
+// replay gate (batchexec.go), which must agree on it exactly.
+func refineCutoff(dpq float64, noCut bool) float64 {
+	if noCut {
+		return math.Inf(1)
+	}
+	return sssp.Cutoff(dpq)
 }
 
 // refineResult describes one rank-refinement run. A run stopped by its
@@ -77,11 +91,7 @@ type refineResult struct {
 // backing array and returned; the caller owns it until the next run with
 // the same slice.
 func (r *refiner) run(p int32, dpq float64, kRank int32, live *atomic.Int32, cancel *atomic.Bool, log []settleRec) (refineResult, []settleRec) {
-	if r.noCut {
-		dpq = math.Inf(1)
-	} else {
-		dpq = sssp.Cutoff(dpq)
-	}
+	dpq = refineCutoff(dpq, r.noCut)
 	r.ref.Reset(p)
 	out := refineResult{stopLevel: math.Inf(1)}
 	strictBelow := 0
@@ -140,6 +150,48 @@ func (r *refiner) run(p int32, dpq float64, kRank int32, live *atomic.Int32, can
 			out.aborted = true
 			return out, log
 		}
+	}
+}
+
+// runExhaustive settles p's entire reachable component, logging every
+// counted settle — no push bound, no query stop, no abort threshold. The
+// batch arena's hot-candidate path (batchexec.go) uses it when a batch
+// keeps re-searching the same candidate with ever-wider cutoffs: one full
+// search whose log replays every later refinement of p, including the one
+// that triggered it (scanSettleLog applies the query's stop rules to the
+// complete log). Records are appended exactly as run would append them for
+// a query that never stops, so the log is a superset of every bounded
+// run's log from p: query nodes are counted class members (checkArgs), so
+// their records carry the same (dist, rank) a bounded run returning at
+// them would record.
+func (r *refiner) runExhaustive(p int32, log []settleRec) (refineResult, []settleRec) {
+	r.ref.Reset(p)
+	out := refineResult{stopLevel: math.Inf(1)}
+	strictBelow := 0
+	settledCounted := 0
+	level := math.Inf(-1)
+	for {
+		v, d, ok := r.ref.PopExpandBounded(math.Inf(1))
+		if !ok {
+			return out, log
+		}
+		out.settled++
+		if r.stop != nil && out.settled&63 == 0 && r.stop.Load() {
+			out.stopped = true
+			return out, log
+		}
+		if v == p {
+			continue
+		}
+		if r.counted != nil && !r.counted[v] {
+			continue
+		}
+		if d > level {
+			strictBelow = settledCounted
+			level = d
+		}
+		settledCounted++
+		log = append(log, settleRec{v, d, int32(strictBelow + 1)})
 	}
 }
 

@@ -59,6 +59,13 @@ type Stats struct {
 	// reclaimed them, so any needed ranks were computed inline. High values
 	// mean the workers are starved — fewer RefineWorkers would do.
 	SpeculativeStolen int `json:"speculative_stolen"`
+	// SharedTraversals counts refinements resolved by replaying a settle
+	// log stored by an earlier query of the same batch instead of running
+	// a fresh search (batch execution only — see batchexec.go; always 0
+	// for standalone queries). Like the speculative counters, replays
+	// change effort accounting, never decisions: a replayed refinement
+	// contributes 0 to RefineSettled because no nodes were settled for it.
+	SharedTraversals int `json:"batch_shared_traversals"`
 }
 
 // Add accumulates other into s (used when averaging over query batches).
@@ -76,6 +83,7 @@ func (s *Stats) Add(other Stats) {
 	s.SpeculativeRefinements += other.SpeculativeRefinements
 	s.SpeculativeWasted += other.SpeculativeWasted
 	s.SpeculativeStolen += other.SpeculativeStolen
+	s.SharedTraversals += other.SharedTraversals
 }
 
 // Result is the answer to one reverse k-ranks query.
@@ -263,6 +271,18 @@ func (h *resultHeap) down(i int) {
 // sorted returns the entries ordered by (rank, node id) ascending.
 func (h *resultHeap) sorted() []rank.Entry {
 	out := append([]rank.Entry(nil), h.entries...)
+	rank.SortEntries(out)
+	return out
+}
+
+// len returns the number of retained entries.
+func (h *resultHeap) len() int { return len(h.entries) }
+
+// sortedInto is sorted writing into a caller-provided buffer (batch mode's
+// chunked entry slab) instead of a fresh allocation. buf must be empty
+// with capacity len().
+func (h *resultHeap) sortedInto(buf []rank.Entry) []rank.Entry {
+	out := append(buf, h.entries...)
 	rank.SortEntries(out)
 	return out
 }

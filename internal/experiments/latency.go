@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"rkranks/internal/core"
@@ -15,12 +16,17 @@ import (
 // concurrent queries, Latency measures how fast ONE query finishes when
 // its rank refinements run on Options.RefineWorkers speculative workers
 // (see core/parallel.go). Queries are issued strictly one at a time and
-// timed individually; each sweep point reports p50/p99/mean and the mean
-// speedup over the serial engine. Results are byte-identical across the
-// sweep — only the wall clock moves.
+// timed individually; the workload runs as one shared-traversal batch per
+// sweep point (the steady serving configuration — see Pool.QueryManyContext),
+// and each point reports p50/p99/mean, the mean speedup over the serial
+// engine, and the steady-state allocation cost per query measured by
+// runtime.ReadMemStats deltas over the timed loop. Results are
+// byte-identical across the sweep — only the wall clock and the
+// allocation columns move.
 func (r *Runner) Latency() (*stats.Table, error) {
 	t := stats.NewTable("Latency: intra-query parallel refinement (Dynamic, one query at a time)",
-		"dataset", "refine workers", "p50 (s)", "p99 (s)", "mean (s)", "speedup vs serial")
+		"dataset", "refine workers", "p50 (s)", "p99 (s)", "mean (s)", "speedup vs serial",
+		"allocs/query", "bytes/query")
 	k := defaultK(r.cfg.Ks)
 	road, _ := r.Road()
 	sets := []struct {
@@ -35,11 +41,20 @@ func (r *Runner) Latency() (*stats.Table, error) {
 		var base float64
 		for _, w := range refineSweep(r.cfg.RefineWorkers) {
 			e := core.NewEngine(s.g, core.Options{RefineWorkers: w})
-			// Untimed warm-up so workspaces reach their high-water marks.
-			if _, err := e.Query(core.Dynamic, queries[0], k); err != nil {
-				return nil, err
+			// Untimed warm-up batch so every workspace (heap storage,
+			// stamped arrays, arena slabs) reaches its high-water mark
+			// before the allocation deltas are read.
+			e.BeginBatch()
+			for _, q := range queries {
+				if _, err := e.Query(core.Dynamic, q, k); err != nil {
+					return nil, err
+				}
 			}
+			e.EndBatch()
 			durs := make([]float64, 0, len(queries))
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			e.BeginBatch()
 			for _, q := range queries {
 				start := time.Now()
 				if _, err := e.Query(core.Dynamic, q, k); err != nil {
@@ -47,6 +62,9 @@ func (r *Runner) Latency() (*stats.Table, error) {
 				}
 				durs = append(durs, time.Since(start).Seconds())
 			}
+			e.EndBatch()
+			runtime.ReadMemStats(&after)
+			nq := float64(len(durs))
 			mean := stats.Mean(durs)
 			if w == 0 {
 				base = mean
@@ -55,10 +73,12 @@ func (r *Runner) Latency() (*stats.Table, error) {
 				fmt.Sprintf("%.6f", stats.Percentile(durs, 50)),
 				fmt.Sprintf("%.6f", stats.Percentile(durs, 99)),
 				fmt.Sprintf("%.6f", mean),
-				fmt.Sprintf("%.2fx", base/mean))
+				fmt.Sprintf("%.2fx", base/mean),
+				fmt.Sprintf("%.2f", float64(after.Mallocs-before.Mallocs)/nq),
+				fmt.Sprintf("%.1f", float64(after.TotalAlloc-before.TotalAlloc)/nq))
 		}
 	}
-	t.Note("%d queries per point, k=%d; workers=0 is the serial engine; results are byte-identical at every point", r.cfg.Queries, k)
+	t.Note("%d queries per point, k=%d; workers=0 is the serial engine; each point runs as one shared-traversal batch; results are byte-identical at every point", r.cfg.Queries, k)
 	return t, nil
 }
 
@@ -66,4 +86,41 @@ func (r *Runner) Latency() (*stats.Table, error) {
 // the same powers-of-two sweep the serving experiment uses.
 func refineSweep(max int) []int {
 	return append([]int{0}, workerSweep(max)...)
+}
+
+// SteadyStateAllocs measures the per-query allocation cost of the warm
+// batch-serving hot path: one engine over the DBLP-like graph, Dynamic at
+// the default k, the standard random workload run once untimed (so every
+// workspace reaches its high-water mark) and then again inside a
+// runtime.ReadMemStats window. This is the `allocs_per_query` /
+// `bytes_per_query` pair rkbench stamps into its JSON reports — the
+// invocation-level summary of the arena + stamped-array zero-alloc claim,
+// complementing the per-sweep-point columns in the latency table.
+func (r *Runner) SteadyStateAllocs() (allocsPerQuery, bytesPerQuery float64, err error) {
+	g := r.DBLP()
+	e := core.NewEngine(g, core.Options{})
+	k := defaultK(r.cfg.Ks)
+	queries := workload.Random(g, r.cfg.Queries, r.cfg.Seed+31)
+	run := func() error {
+		e.BeginBatch()
+		defer e.EndBatch()
+		for _, q := range queries {
+			if _, err := e.Query(core.Dynamic, q, k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err = run(); err != nil {
+		return 0, 0, err
+	}
+	runtime.GC() // settle warm-up garbage so the window sees only steady state
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if err = run(); err != nil {
+		return 0, 0, err
+	}
+	runtime.ReadMemStats(&after)
+	n := float64(len(queries))
+	return float64(after.Mallocs-before.Mallocs) / n, float64(after.TotalAlloc-before.TotalAlloc) / n, nil
 }

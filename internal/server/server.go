@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -64,6 +65,9 @@ type Backend interface {
 //     per-shard occupancy and scatter-gather latency breakdown;
 //   - interface{ CacheSnapshot() any } extends /statsz with the response
 //     cache's hit/coalesce/eviction counters and byte occupancy;
+//   - interface{ CSRBytes() int64 } extends /statsz with the memory
+//     footprint of the packed CSR graph views the backend traverses
+//     (core.Pool implements it; the server's own graph is the fallback);
 //   - interface{ Unwrap() any } marks a decorator (the response cache):
 //     probes walk the chain, so a cached cluster still reports its
 //     shards;
@@ -126,6 +130,13 @@ type Config struct {
 	// AccessLog receives one structured record per request. Nil disables
 	// access logging (metrics still aggregate).
 	AccessLog *slog.Logger
+
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the serving
+	// mux, so CPU/heap/alloc profiles of the query path can be captured in
+	// situ (rkserve/rkcluster -pprof; see CONTRIBUTING.md for the
+	// workflow). Off by default: the endpoints expose internals and a CPU
+	// profile costs ~1% while running, so production opts in deliberately.
+	EnablePprof bool
 
 	// HealthExtra is merged into the /healthz document (reserved keys are
 	// not overridden). rkserve uses it to publish its -shard spec so a
@@ -209,6 +220,16 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	if cfg.EnablePprof {
+		// Profiling requests bypass admission control on purpose: a CPU
+		// profile of an overloaded server is exactly the artifact the
+		// overload investigation needs.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
 }
 
@@ -488,6 +509,11 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	if cs, ok := probeBackend[interface{ CacheSnapshot() any }](s.backend); ok {
 		snap.Cache = cs.CacheSnapshot()
+	}
+	if cb, ok := probeBackend[interface{ CSRBytes() int64 }](s.backend); ok {
+		snap.CSRBytes = cb.CSRBytes()
+	} else {
+		snap.CSRBytes = s.cfg.Graph.CSRBytes()
 	}
 	writeJSON(w, http.StatusOK, snap)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -150,6 +151,30 @@ func TestBatchEndpoint(t *testing.T) {
 	}
 }
 
+func TestPprofOptIn(t *testing.T) {
+	_, off, _ := newTestServer(t, Config{}, false)
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without EnablePprof: status %d, want 404", resp.StatusCode)
+	}
+
+	_, on, _ := newTestServer(t, Config{EnablePprof: true}, false)
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(on.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
 func TestHealthzAndStatsz(t *testing.T) {
 	_, ts, g := newTestServer(t, Config{}, true)
 	c := NewClient(ts.URL)
@@ -180,6 +205,28 @@ func TestHealthzAndStatsz(t *testing.T) {
 	if snap.PoolSize != 4 {
 		t.Errorf("pool size %d, want 4", snap.PoolSize)
 	}
+	if snap.CSRBytes <= 0 {
+		t.Errorf("csr_bytes %d, want > 0 after a served query", snap.CSRBytes)
+	}
+
+	// A batch of repeated queries must engage the shared-traversal
+	// executor: the aggregated counter and the derived reuse ratio move.
+	queries := make([]int32, 0, 24)
+	for i := 0; i < 8; i++ {
+		queries = append(queries, 3, 7, 11)
+	}
+	if _, err := c.Batch(context.Background(), "dynamic", queries, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if snap, err = c.Stats(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if snap.BatchSharedTraversals < 1 {
+		t.Errorf("batch_shared_traversals %d, want >= 1 after a repetitive batch", snap.BatchSharedTraversals)
+	}
+	if snap.TraversalReuseRatio <= 0 || snap.TraversalReuseRatio > 1 {
+		t.Errorf("traversal_reuse_ratio %v, want in (0, 1]", snap.TraversalReuseRatio)
+	}
 }
 
 func TestDeadlineMapsTo504(t *testing.T) {
@@ -193,7 +240,11 @@ func TestDeadlineMapsTo504(t *testing.T) {
 }
 
 func TestAdmissionControl(t *testing.T) {
-	s, ts, _ := newTestServer(t, Config{MaxInFlight: 1, MaxQueue: 1}, false)
+	// The slow graph keeps each naive query in flight long enough that the
+	// 24 concurrent arrivals genuinely overlap; on the small test graph a
+	// query can finish before the next goroutine is even scheduled, so
+	// nothing ever queues and nothing is shed.
+	s, ts, _ := newTestServerOn(t, Config{MaxInFlight: 1, MaxQueue: 1}, false, slowGraph())
 	c := NewClient(ts.URL)
 	if s.cfg.MaxQueue != 1 {
 		t.Fatalf("MaxQueue = %d", s.cfg.MaxQueue)

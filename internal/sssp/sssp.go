@@ -8,6 +8,12 @@
 //   - reverse-graph traversal for computing distances *to* a node;
 //   - O(touched) per-query cost via epoch-reset workspaces.
 //
+// The expand loops iterate the graph's packed CSR view (graph.Packed): one
+// interleaved Arc{target, weight} stream per node instead of two parallel
+// slices, which halves the pointer traffic of the relaxation inner loop.
+// Graphs too large for int32 CSR offsets fall back to the adjacency-slice
+// path transparently.
+//
 // A Search is bound to one graph and reused across many runs; it is not
 // safe for concurrent use (use one Search per goroutine).
 package sssp
@@ -25,19 +31,49 @@ type Search struct {
 	q       *pqueue.Queue
 	parent  []int32
 	depth   []int32
+	fwd     *graph.CSR // packed forward view, nil when the graph overflows int32 offsets
+	rev     *graph.CSR // packed reverse view (aliases fwd for undirected graphs)
+	cur     *graph.CSR // view for the current run's direction, nil on the slice path
 	reverse bool
+	lite    bool
 	settled int
 }
 
 // New returns a Search over g.
 func New(g *graph.Graph) *Search {
 	n := g.N()
+	fwd, rev := g.Packed()
 	return &Search{
 		g:      g,
 		q:      pqueue.New(n),
 		parent: make([]int32, n),
 		depth:  make([]int32, n),
+		fwd:    fwd,
+		rev:    rev,
 	}
+}
+
+// NewLite returns a Search that skips shortest-path-tree bookkeeping:
+// Parent and Depth are unavailable (no per-settle parent/depth writes, no
+// per-relaxation parent store), which makes it the cheapest traversal for
+// callers that only consume settle order and distances — the rank
+// refinement inner loop in particular.
+func NewLite(g *graph.Graph) *Search {
+	fwd, rev := g.Packed()
+	return &Search{
+		g:    g,
+		q:    pqueue.New(g.N()),
+		fwd:  fwd,
+		rev:  rev,
+		lite: true,
+	}
+}
+
+// DisablePacked forces this Search onto the adjacency-slice path, as if the
+// graph were too large to pack. It exists so tests and benchmarks can
+// compare the two kernels; production callers never need it.
+func (s *Search) DisablePacked() {
+	s.fwd, s.rev, s.cur = nil, nil, nil
 }
 
 // Graph returns the graph this search traverses.
@@ -54,9 +90,16 @@ func (s *Search) ResetReverse(src int32) { s.reset(src, true) }
 func (s *Search) reset(src int32, reverse bool) {
 	s.q.Reset()
 	s.reverse = reverse
+	if reverse {
+		s.cur = s.rev
+	} else {
+		s.cur = s.fwd
+	}
 	s.settled = 0
 	s.q.Push(src, 0)
-	s.parent[src] = -1
+	if !s.lite {
+		s.parent[src] = -1
+	}
 }
 
 // Pop settles and returns the nearest unsettled node without relaxing its
@@ -69,10 +112,12 @@ func (s *Search) Pop() (v int32, dist float64, ok bool) {
 	}
 	v, dist = s.q.PopMin()
 	s.settled++
-	if p := s.parent[v]; p >= 0 {
-		s.depth[v] = s.depth[p] + 1
-	} else {
-		s.depth[v] = 0
+	if !s.lite {
+		if p := s.parent[v]; p >= 0 {
+			s.depth[v] = s.depth[p] + 1
+		} else {
+			s.depth[v] = 0
+		}
 	}
 	return v, dist, true
 }
@@ -98,39 +143,57 @@ func (s *Search) PopExpandBounded(maxDist float64) (v int32, dist float64, ok bo
 	}
 	v, dist = s.q.PopMin()
 	s.settled++
-	if p := s.parent[v]; p >= 0 {
-		s.depth[v] = s.depth[p] + 1
-	} else {
-		s.depth[v] = 0
-	}
-	var ts []int32
-	var ws []float64
-	if s.reverse {
-		ts, ws = s.g.RNeighbors(v)
-	} else {
-		ts, ws = s.g.Neighbors(v)
-	}
-	for i, t := range ts {
-		nd := dist + ws[i]
-		if nd > maxDist {
-			continue
+	if c := s.cur; c != nil && s.lite {
+		// Hottest variant: packed arcs, no tree bookkeeping.
+		for _, a := range c.Arcs(v) {
+			nd := dist + a.W
+			if nd > maxDist {
+				continue
+			}
+			s.q.Push(a.To, nd)
 		}
-		if s.q.Push(t, nd) {
-			s.parent[t] = v
+		return v, dist, true
+	}
+	if !s.lite {
+		if p := s.parent[v]; p >= 0 {
+			s.depth[v] = s.depth[p] + 1
+		} else {
+			s.depth[v] = 0
 		}
 	}
+	s.ExpandBounded(v, dist, maxDist)
 	return v, dist, true
 }
 
 // Expand relaxes the out-arcs of a node previously returned by Pop, where
 // dist is the distance Pop reported for it.
 func (s *Search) Expand(v int32, dist float64) {
+	if c := s.cur; c != nil {
+		if s.lite {
+			for _, a := range c.Arcs(v) {
+				s.q.Push(a.To, dist+a.W)
+			}
+			return
+		}
+		for _, a := range c.Arcs(v) {
+			if s.q.Push(a.To, dist+a.W) {
+				s.parent[a.To] = v
+			}
+		}
+		return
+	}
 	var ts []int32
 	var ws []float64
 	if s.reverse {
 		ts, ws = s.g.RNeighbors(v)
 	} else {
 		ts, ws = s.g.Neighbors(v)
+	}
+	if s.lite {
+		for i, t := range ts {
+			s.q.Push(t, dist+ws[i])
+		}
+		return
 	}
 	for i, t := range ts {
 		if s.q.Push(t, dist+ws[i]) {
@@ -147,12 +210,44 @@ func (s *Search) Expand(v int32, dist float64) {
 // re-offered if a shorter path to it is found later, so settle order below
 // maxDist is unaffected.
 func (s *Search) ExpandBounded(v int32, dist, maxDist float64) {
+	if c := s.cur; c != nil {
+		if s.lite {
+			for _, a := range c.Arcs(v) {
+				nd := dist + a.W
+				if nd > maxDist {
+					continue
+				}
+				s.q.Push(a.To, nd)
+			}
+			return
+		}
+		for _, a := range c.Arcs(v) {
+			nd := dist + a.W
+			if nd > maxDist {
+				continue
+			}
+			if s.q.Push(a.To, nd) {
+				s.parent[a.To] = v
+			}
+		}
+		return
+	}
 	var ts []int32
 	var ws []float64
 	if s.reverse {
 		ts, ws = s.g.RNeighbors(v)
 	} else {
 		ts, ws = s.g.Neighbors(v)
+	}
+	if s.lite {
+		for i, t := range ts {
+			nd := dist + ws[i]
+			if nd > maxDist {
+				continue
+			}
+			s.q.Push(t, nd)
+		}
+		return
 	}
 	for i, t := range ts {
 		nd := dist + ws[i]
@@ -196,11 +291,12 @@ func (s *Search) Dist(v int32) (float64, bool) {
 }
 
 // Parent returns v's predecessor on its current shortest path, or -1 for
-// the source. Only meaningful when Reached(v).
+// the source. Only meaningful when Reached(v), and never for a NewLite
+// search (lite searches do not track the shortest-path tree).
 func (s *Search) Parent(v int32) int32 { return s.parent[v] }
 
 // Depth returns v's hop depth in the shortest-path tree (source = 0). Only
-// meaningful once v is settled.
+// meaningful once v is settled, and never for a NewLite search.
 func (s *Search) Depth(v int32) int32 { return s.depth[v] }
 
 // Frontier returns the number of queued (not yet settled) nodes.

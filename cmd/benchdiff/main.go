@@ -242,6 +242,14 @@ func columnKind(header string) metricKind {
 		return metricKind{floor: 2, tracked: true}
 	case strings.Contains(h, "bytes/"):
 		return metricKind{floor: 512, tracked: true}
+	// Hub-label columns (hublabel experiment), deterministic for a fixed
+	// seed: the labeling footprint regresses when it RISES, the count of
+	// label-certified prunes when it FALLS (a weaker labeling pushes
+	// candidates back onto Dijkstra refinements).
+	case strings.Contains(h, "label bytes"):
+		return metricKind{floor: 1024, tracked: true}
+	case strings.Contains(h, "label prunes"):
+		return metricKind{higherBetter: true, floor: minCounter, tracked: true}
 	// Cluster scatter-gather counters (serving_cluster): deterministic
 	// shard-work metrics. Entries moved and escalation rounds regress
 	// when they RISE; shards short-circuited by their rank floor and the

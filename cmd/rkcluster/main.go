@@ -78,6 +78,11 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 		rankFrac   = fs.Float64("index-m", 0.1, "ranked fraction m for -build-index")
 		indexK     = fs.Int("index-k", 100, "max supported k for -build-index")
 
+		hubLoad     = fs.String("hub-load", "", "prebuilt hub labeling file shared by the in-process shards (rkranks.SaveHubLabels format); enables the hublabel algorithm")
+		hubCount    = fs.Int("hub-count", 0, "build one shared hub labeling with this many roots at startup (-1 = all nodes)")
+		hubStrategy = fs.String("hub-strategy", "degree", "root-selection strategy for -hub-count: random|degree|closeness")
+		hubWorkers  = fs.Int("hub-workers", 0, "build parallelism for -hub-count (0 = GOMAXPROCS; the labeling is identical for any value)")
+
 		cacheMB     = fs.Int("cache-mb", 0, "response cache budget in MiB (0 disables); duplicate in-flight queries coalesce onto one scatter")
 		poolSize    = fs.Int("pool", 0, "engine pool size PER SHARD (0 = GOMAXPROCS-derived)")
 		refine      = fs.Int("refine-workers", 0, "intra-query refine workers per engine")
@@ -104,8 +109,12 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 	logger.Info("graph loaded", slog.Int("nodes", g.N()), slog.Int64("edges", g.M()), slog.Bool("directed", g.Directed()))
 
 	cfg := cluster.Config{StrictConsistency: *strict, FirstRoundK: *firstRoundK}
+	labels, err := resolveLabels(g, *backendList, *hubLoad, *hubCount, *hubStrategy, *hubWorkers, *genSeed, logger)
+	if err != nil {
+		return err
+	}
 	coord, err := buildCoordinator(g, *backendList, *shards, *partName, *poolSize, *refine,
-		*buildIndex, *hubFrac, *rankFrac, *indexK, *genSeed, cfg, logger)
+		*buildIndex, *hubFrac, *rankFrac, *indexK, *genSeed, labels, cfg, logger)
 	if err != nil {
 		return err
 	}
@@ -114,6 +123,7 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 		slog.Int("shards", coord.ShardCount()),
 		slog.Int("capacity", coord.Size()),
 		slog.Bool("indexed", coord.Indexed()),
+		slog.Bool("hub_labeled", coord.HubLabeled()),
 		slog.Bool("strict", *strict))
 
 	var backend server.Backend = coord
@@ -179,12 +189,64 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 	return nil
 }
 
+// resolveLabels resolves the hub-labeling flags to ONE shared read-only
+// labeling for the in-process shards (nil without one). Remote backends
+// own their labelings — they are booted with their own -hub-* flags — so
+// the flags are refused in remote mode rather than silently ignored.
+func resolveLabels(g *graph.Graph, backendList, path string, count int, strategy string, workers int, seed int64, logger *slog.Logger) (*hub.Labels, error) {
+	if path == "" && count == 0 {
+		return nil, nil
+	}
+	if backendList != "" {
+		return nil, fmt.Errorf("rkcluster: -hub-load/-hub-count apply to in-process shards; boot remote backends with their own rkserve -hub-* flags")
+	}
+	if path != "" && count != 0 {
+		return nil, fmt.Errorf("rkcluster: -hub-load and -hub-count are mutually exclusive")
+	}
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		labels, err := hub.ReadLabels(f)
+		if err != nil {
+			return nil, err
+		}
+		if labels.N() != g.N() || labels.Directed() != g.Directed() {
+			return nil, fmt.Errorf("rkcluster: labeling %s covers %d nodes (directed=%v), graph has %d (directed=%v)",
+				path, labels.N(), labels.Directed(), g.N(), g.Directed())
+		}
+		logger.Info("hub labeling loaded", slog.String("path", path),
+			slog.Int("hubs", labels.HubCount()), slog.Int64("bytes", labels.Bytes()))
+		return labels, nil
+	}
+	h := count
+	if h < 0 || h > g.N() {
+		h = g.N()
+	}
+	strat, err := hub.ParseStrategy(strategy)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	roots := hub.Order(g, strat, h, hub.Options{Seed: seed, Workers: workers})
+	labels, err := hub.BuildLabels(g, roots, workers)
+	if err != nil {
+		return nil, err
+	}
+	logger.Info("shared hub labeling built", slog.Int("hubs", h),
+		slog.String("strategy", strat.String()), slog.Int64("bytes", labels.Bytes()),
+		slog.Duration("elapsed", time.Since(start)))
+	return labels, nil
+}
+
 // buildCoordinator assembles the shard backends: remote rkserve clients
 // when -backends is set, masked in-process pools otherwise.
 func buildCoordinator(g *graph.Graph, backendList string, shards int, partName string,
 	poolSize, refine int, buildIndex bool, h, m float64, k int, seed int64,
-	cfg cluster.Config, logger *slog.Logger) (*cluster.Coordinator, error) {
-	opts := core.Options{RefineWorkers: refine}
+	labels *hub.Labels, cfg cluster.Config, logger *slog.Logger) (*cluster.Coordinator, error) {
+	opts := core.Options{RefineWorkers: refine, Labels: labels}
 	if backendList != "" {
 		urls := strings.Split(backendList, ",")
 		backends := make([]cluster.ShardBackend, 0, len(urls))

@@ -10,6 +10,8 @@
 //	rkserve -gen dblp -gen-nodes 5000 -addr :8080           # synthetic graph (demos, smoke tests)
 //	rkserve -graph g.rkg -index g.ridx                      # serve a prebuilt index
 //	rkserve -graph g.rkg -cache-mb 64                       # response cache + singleflight coalescing
+//	rkserve -graph g.rkg -hub-count -1 -hub-save g.rkhl     # build a complete hub labeling, save, serve hublabel
+//	rkserve -graph g.rkg -hub-load g.rkhl                   # serve hublabel from a prebuilt labeling
 //	rkserve -graph g.rkg -shard 0/4                         # serve vertex shard 0 of 4 (see cmd/rkcluster)
 //
 // With -shard i/P the instance answers queries for its own vertex shard
@@ -72,6 +74,12 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 		rankFrac   = fs.Float64("index-m", 0.1, "ranked fraction m for -build-index")
 		indexK     = fs.Int("index-k", 100, "max supported k for -build-index")
 
+		hubLoad     = fs.String("hub-load", "", "prebuilt hub labeling file (rkranks.SaveHubLabels format); enables the hublabel algorithm")
+		hubSave     = fs.String("hub-save", "", "write the labeling built by -hub-count to this file before serving")
+		hubCount    = fs.Int("hub-count", 0, "build a hub labeling with this many roots at startup (-1 = all nodes, a complete labeling)")
+		hubStrategy = fs.String("hub-strategy", "degree", "root-selection strategy for -hub-count: random|degree|closeness")
+		hubWorkers  = fs.Int("hub-workers", 0, "build parallelism for -hub-count (0 = GOMAXPROCS; the labeling is identical for any value)")
+
 		shardSpec = fs.String("shard", "", "serve one vertex shard, as i/P (e.g. 0/4); the coordinator must use the same partitioner and P")
 		shardPart = fs.String("shard-partitioner", "modulo", "partitioner for -shard: modulo|degree")
 
@@ -119,6 +127,11 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
+	labels, err := loadOrBuildLabels(g, *hubLoad, *hubSave, *hubCount, *hubStrategy, *hubWorkers, *genSeed, logger)
+	if err != nil {
+		return err
+	}
+	opts.Labels = labels
 	if ix != nil {
 		if pool, err = core.NewPoolWithIndex(g, opts, *poolSize, ix); err != nil {
 			return err
@@ -126,7 +139,7 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 	} else {
 		pool = core.NewPool(g, opts, *poolSize)
 	}
-	logger.Info("pool ready", slog.Int("engines", pool.Size()), slog.Bool("indexed", ix != nil))
+	logger.Info("pool ready", slog.Int("engines", pool.Size()), slog.Bool("indexed", ix != nil), slog.Bool("hub_labeled", labels != nil))
 
 	var backend server.Backend = pool
 	if *cacheMB > 0 {
@@ -214,6 +227,67 @@ func shardMask(g *graph.Graph, spec, partName string) ([]bool, int, int, error) 
 		return nil, 0, 0, err
 	}
 	return mask, shard, shards, nil
+}
+
+// loadOrBuildLabels resolves the hub-labeling flags to a shared read-only
+// labeling for Options.Labels (nil when serving without one).
+func loadOrBuildLabels(g *graph.Graph, path, save string, count int, strategy string, workers int, seed int64, logger *slog.Logger) (*hub.Labels, error) {
+	switch {
+	case path != "" && count != 0:
+		return nil, fmt.Errorf("rkserve: -hub-load and -hub-count are mutually exclusive")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		labels, err := hub.ReadLabels(f)
+		if err != nil {
+			return nil, err
+		}
+		if labels.N() != g.N() || labels.Directed() != g.Directed() {
+			return nil, fmt.Errorf("rkserve: labeling %s covers %d nodes (directed=%v), graph has %d (directed=%v)",
+				path, labels.N(), labels.Directed(), g.N(), g.Directed())
+		}
+		logger.Info("hub labeling loaded", slog.String("path", path),
+			slog.Int("hubs", labels.HubCount()), slog.Int64("bytes", labels.Bytes()))
+		return labels, nil
+	case count == 0:
+		return nil, nil
+	}
+	h := count
+	if h < 0 || h > g.N() {
+		h = g.N()
+	}
+	strat, err := hub.ParseStrategy(strategy)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	roots := hub.Order(g, strat, h, hub.Options{Seed: seed, Workers: workers})
+	labels, err := hub.BuildLabels(g, roots, workers)
+	if err != nil {
+		return nil, err
+	}
+	logger.Info("hub labeling built",
+		slog.Int("hubs", h), slog.String("strategy", strat.String()),
+		slog.Int64("entries", labels.Entries()), slog.Int64("bytes", labels.Bytes()),
+		slog.Duration("elapsed", time.Since(start)))
+	if save != "" {
+		f, err := os.Create(save)
+		if err != nil {
+			return nil, err
+		}
+		if err := labels.Write(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		logger.Info("hub labeling saved", slog.String("path", save))
+	}
+	return labels, nil
 }
 
 // loadGraph resolves -graph/-gen. The -gen parameters are shared with

@@ -97,6 +97,14 @@ func (s *LocalShard) Size() int { return s.pool.Size() }
 // Indexed implements ShardBackend.
 func (s *LocalShard) Indexed() bool { return s.pool.Indexed() }
 
+// HubLabeled reports whether the shard's pool serves HubLabel queries
+// (the coordinator's capability probe; see Coordinator.HubLabeled).
+func (s *LocalShard) HubLabeled() bool { return s.pool.HubLabeled() }
+
+// HubLabelBytes reports the shard labeling's memory footprint for the
+// coordinator's /statsz sum.
+func (s *LocalShard) HubLabelBytes() int64 { return s.pool.HubLabelBytes() }
+
 // Describe implements ShardBackend.
 func (s *LocalShard) Describe() string { return s.desc }
 
@@ -107,10 +115,11 @@ func (s *LocalShard) Close() error { return nil }
 // -shard i/P so its pool's candidate class is that shard's mask) through
 // the /v1/query wire contract.
 type RemoteShard struct {
-	client  *server.Client
-	url     string
-	size    int
-	indexed bool
+	client     *server.Client
+	url        string
+	size       int
+	indexed    bool
+	hubLabeled bool
 }
 
 // RemoteExpect is what a coordinator requires of a remote backend before
@@ -143,6 +152,7 @@ func NewRemoteShard(ctx context.Context, url string, expect RemoteExpect) (*Remo
 		size = int(v)
 	}
 	indexed, _ := doc["indexed"].(bool)
+	hubLabeled, _ := doc["hub_labeled"].(bool)
 	if expect.Nodes > 0 {
 		if v, ok := doc["graph_nodes"].(float64); !ok || int(v) != expect.Nodes {
 			return nil, fmt.Errorf("cluster: shard %s serves a %v-node graph, coordinator expects %d", url, doc["graph_nodes"], expect.Nodes)
@@ -160,7 +170,7 @@ func NewRemoteShard(ctx context.Context, url string, expect RemoteExpect) (*Remo
 			}
 		}
 	}
-	return &RemoteShard{client: c, url: url, size: size, indexed: indexed}, nil
+	return &RemoteShard{client: c, url: url, size: size, indexed: indexed, hubLabeled: hubLabeled}, nil
 }
 
 // Query implements ShardBackend, mapping wire errors back to the typed
@@ -228,6 +238,10 @@ func (s *RemoteShard) Size() int { return s.size }
 
 // Indexed implements ShardBackend.
 func (s *RemoteShard) Indexed() bool { return s.indexed }
+
+// HubLabeled reports whether the remote backend published hub-label
+// capability on its /healthz (rkserve booted with -hub-load or -hub-count).
+func (s *RemoteShard) HubLabeled() bool { return s.hubLabeled }
 
 // Describe implements ShardBackend.
 func (s *RemoteShard) Describe() string { return "remote[" + s.url + "]" }

@@ -239,6 +239,31 @@ func (c *Coordinator) Indexed() bool {
 	return true
 }
 
+// HubLabeled implements the serving-layer capability probe: HubLabel
+// queries are serveable only when every shard holds a hub labeling.
+func (c *Coordinator) HubLabeled() bool {
+	for _, b := range c.backends {
+		hl, ok := b.(interface{ HubLabeled() bool })
+		if !ok || !hl.HubLabeled() {
+			return false
+		}
+	}
+	return true
+}
+
+// HubLabelBytes implements the /statsz footprint probe: the sum of the
+// shard labelings' footprints (remote shards, which do not expose one,
+// contribute 0 — their bytes live in their own /statsz).
+func (c *Coordinator) HubLabelBytes() int64 {
+	var total int64
+	for _, b := range c.backends {
+		if hb, ok := b.(interface{ HubLabelBytes() int64 }); ok {
+			total += hb.HubLabelBytes()
+		}
+	}
+	return total
+}
+
 // Generation implements the response-cache answer-set-generation probe:
 // the sum of the shard backends' generations (remote shards, which do
 // not expose one, contribute 0). Any shard invalidating its answers

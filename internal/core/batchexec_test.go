@@ -45,11 +45,19 @@ func TestBatchByteIdentity(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, a := range []Algorithm{Naive, Static, Dynamic, Indexed} {
+			labels, err := hub.BuildLabels(g, hub.Order(g, hub.DegreeFirst, g.N(), hub.Options{Seed: 9}), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range []Algorithm{Naive, Static, Dynamic, Indexed, HubLabel} {
+				opts := Options{}
+				if a == HubLabel {
+					opts.Labels = labels
+				}
 				// Standalone reference: a fresh engine per query.
 				want := make([]*Result, len(qs))
 				for i, q := range qs {
-					e := NewEngine(g, Options{})
+					e := NewEngine(g, opts)
 					if a == Indexed {
 						e.SetIndex(ix)
 					}
@@ -67,7 +75,7 @@ func TestBatchByteIdentity(t *testing.T) {
 							t.Fatal(err)
 						}
 					} else {
-						p = NewPool(g, Options{}, size)
+						p = NewPool(g, opts, size)
 					}
 					got, err := p.QueryMany(a, qs, k)
 					if err != nil {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"rkranks/internal/graph"
+	"rkranks/internal/hub"
 	"rkranks/internal/rank"
 	"rkranks/internal/ridx"
 	"rkranks/internal/sssp"
@@ -29,9 +30,10 @@ import (
 // traffic stays on the coordinating goroutine), so RefineWorkers composes
 // with either index implementation.
 type Engine struct {
-	g    *graph.Graph
-	opts Options
-	idx  ridx.Index
+	g      *graph.Graph
+	opts   Options
+	idx    ridx.Index
+	labels *hub.Labels // from Options.Labels; enables HubLabel queries
 
 	tree *sssp.Search // transpose traversal from q (SDS-tree)
 	rf   *refiner     // serial refinement workspace (see refiner.go)
@@ -43,6 +45,8 @@ type Engine struct {
 	nrank   []int32 // recorded rank (or lower bound) of processed nodes
 	nstamp  []uint32
 	ostamp  []uint32 // nodes already offered to the result heap
+	lbseen  []uint32 // hub-label scan dedupe stamps (lazily allocated)
+	lbepoch uint32   // epoch for lbseen; bumped once per label scan
 	sseq    []int32  // SDS-tree pop sequence numbers (see markTreeSettled)
 	sstamp  []uint32
 	seq     int32 // pops so far this query
@@ -91,9 +95,18 @@ func NewEngine(g *graph.Graph, opts Options) *Engine {
 	if opts.Counted != nil && len(opts.Counted) != n {
 		panic(fmt.Sprintf("core: Counted length %d != n %d", len(opts.Counted), n))
 	}
+	if l := opts.Labels; l != nil {
+		if l.N() != n {
+			panic(fmt.Sprintf("core: labels cover %d nodes, graph has %d", l.N(), n))
+		}
+		if l.Directed() != g.Directed() {
+			panic(fmt.Sprintf("core: labels directed=%v, graph directed=%v", l.Directed(), g.Directed()))
+		}
+	}
 	return &Engine{
 		g:      g,
 		opts:   opts,
+		labels: opts.Labels,
 		tree:   sssp.New(g),
 		rf:     newRefiner(g),
 		lcount: make([]int32, n),
@@ -151,6 +164,9 @@ func (e *Engine) QueryContext(ctx context.Context, a Algorithm, q int32, k int) 
 			return nil, fmt.Errorf("core: k=%d exceeds index K=%d: %w", k, e.idx.MaxK(), ErrInvalidK)
 		}
 	}
+	if a == HubLabel && e.labels == nil {
+		return nil, fmt.Errorf("core: HubLabel query requires Options.Labels: %w", ErrLabelsRequired)
+	}
 	e.stop = nil
 	if ctx.Done() != nil {
 		if err := ctx.Err(); err != nil {
@@ -167,8 +183,14 @@ func (e *Engine) QueryContext(ctx context.Context, a Algorithm, q int32, k int) 
 	return res, nil
 }
 
-// dispatch routes a validated query to its engine implementation.
+// dispatch routes a validated query to its engine implementation. HubLabel
+// always runs serially, even with RefineWorkers set: label pruning removes
+// exactly the refinements the speculative pipeline would overlap, so the
+// workers would mostly produce wasted speculation.
 func (e *Engine) dispatch(a Algorithm, q int32, k int) *Result {
+	if a == HubLabel {
+		return e.hubLabel(q, k)
+	}
 	if e.opts.refineWorkers() > 0 {
 		if a == Naive {
 			return e.naiveParallel(q, k)

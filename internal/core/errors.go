@@ -30,6 +30,10 @@ var (
 	// ErrIndexRequired reports an Indexed query against an engine without
 	// SetIndex, or a pool built without NewPoolWithIndex.
 	ErrIndexRequired = fmt.Errorf("index required: %w", ErrInvalidArgument)
+
+	// ErrLabelsRequired reports a HubLabel query against an engine or pool
+	// built without Options.Labels.
+	ErrLabelsRequired = fmt.Errorf("hub labels required: %w", ErrInvalidArgument)
 )
 
 // ValidateRequest checks the (algorithm, k) pair every query entry point
@@ -43,7 +47,7 @@ func ValidateRequest(a Algorithm, k int) error { return validateRequest(a, k) }
 // request is rejected immediately instead of occupying a permit.
 func validateRequest(a Algorithm, k int) error {
 	switch a {
-	case Naive, Static, Dynamic, Indexed:
+	case Naive, Static, Dynamic, Indexed, HubLabel:
 	default:
 		return fmt.Errorf("core: algorithm %d: %w", int(a), ErrUnknownAlgorithm)
 	}

@@ -1,0 +1,220 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rkranks/internal/core"
+	"rkranks/internal/gen"
+	"rkranks/internal/hub"
+	"rkranks/internal/workload"
+)
+
+// TestHubLabelMatchesDynamic: the label-pruned engine returns entries
+// byte-identical to Dynamic's across edge orientation, labeling coverage
+// (complete, quarter, single-hub), seeds, and k — the canonical-result
+// contract that lets shard merging, floors, and caches treat the two
+// engines interchangeably.
+func TestHubLabelMatchesDynamic(t *testing.T) {
+	var pruned, fallbacks int
+	for _, directed := range []bool{false, true} {
+		for _, hdiv := range []int{1, 4, 100} {
+			for seed := int64(1); seed <= 3; seed++ {
+				g := gen.GNM(300, 1200, directed, seed)
+				h := 300 / hdiv
+				if h < 1 {
+					h = 1
+				}
+				roots := hub.Order(g, hub.DegreeFirst, h, hub.Options{Seed: seed})
+				labels, err := hub.BuildLabels(g, roots, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ed := core.NewEngine(g, core.Options{})
+				eh := core.NewEngine(g, core.Options{Labels: labels})
+				for _, q := range workload.Random(g, 20, seed+7) {
+					for _, k := range []int{1, 3, 10} {
+						rd, err := ed.Query(core.Dynamic, q, k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						rh, err := eh.Query(core.HubLabel, q, k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(rd.Entries, rh.Entries) {
+							t.Fatalf("directed=%v h=%d seed=%d q=%d k=%d:\ndyn: %v\nhub: %v",
+								directed, h, seed, q, k, rd.Entries, rh.Entries)
+						}
+						if rd.Stats.LabelPruned != 0 || rd.Stats.LabelFallbacks != 0 {
+							t.Fatal("Dynamic moved the label counters")
+						}
+						pruned += rh.Stats.LabelPruned
+						fallbacks += rh.Stats.LabelFallbacks
+					}
+				}
+			}
+		}
+	}
+	// The matrix includes complete labelings on dense graphs: if the label
+	// scan never pruned anything there, the engine is just Dynamic with
+	// extra steps and the test is vacuous.
+	if pruned == 0 {
+		t.Error("label scan never pruned a candidate across the whole matrix")
+	}
+	if fallbacks == 0 {
+		t.Error("no candidate ever fell back to refinement (partial labelings must miss)")
+	}
+}
+
+// TestHubLabelBichromatic: with candidate and counted class masks the
+// label bound counts only counted-class nodes (the union scan; tier 1 is
+// skipped), and results still match Dynamic exactly.
+func TestHubLabelBichromatic(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		g := gen.GNM(250, 1000, false, seed+40)
+		rng := rand.New(rand.NewSource(seed))
+		candidates := make([]bool, g.N())
+		counted := make([]bool, g.N())
+		for i := range candidates {
+			candidates[i] = rng.Intn(3) != 0
+			counted[i] = rng.Intn(2) == 0
+		}
+		// Bichromatic queries must come from the counted class.
+		queries := workload.Random(g, 15, seed+9)
+		for _, q := range queries {
+			counted[q] = true
+		}
+		roots := hub.Order(g, hub.DegreeFirst, g.N()/2, hub.Options{Seed: seed})
+		labels, err := hub.BuildLabels(g, roots, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := core.Options{Candidates: candidates, Counted: counted}
+		ed := core.NewEngine(g, opts)
+		opts.Labels = labels
+		eh := core.NewEngine(g, opts)
+		for _, q := range queries {
+			rd, err := ed.Query(core.Dynamic, q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rh, err := eh.Query(core.HubLabel, q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rd.Entries, rh.Entries) {
+				t.Fatalf("seed=%d q=%d:\ndyn: %v\nhub: %v", seed, q, rd.Entries, rh.Entries)
+			}
+		}
+	}
+}
+
+// TestHubLabelDisconnected: isolated nodes and multiple components —
+// where unreachability interacts with both the SDS traversal and the
+// label scan — still produce Dynamic-identical results.
+func TestHubLabelDisconnected(t *testing.T) {
+	g := gen.GNM(200, 90, false, 77) // far fewer edges than nodes: many isolated
+	roots := hub.Order(g, hub.DegreeFirst, g.N(), hub.Options{})
+	labels, err := hub.BuildLabels(g, roots, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed := core.NewEngine(g, core.Options{})
+	eh := core.NewEngine(g, core.Options{Labels: labels})
+	for q := int32(0); q < int32(g.N()); q += 7 {
+		for _, k := range []int{1, 5, 50} {
+			rd, err := ed.Query(core.Dynamic, q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rh, err := eh.Query(core.HubLabel, q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rd.Entries, rh.Entries) {
+				t.Fatalf("q=%d k=%d:\ndyn: %v\nhub: %v", q, k, rd.Entries, rh.Entries)
+			}
+		}
+	}
+}
+
+// TestHubLabelRequiresLabels: a HubLabel query without Options.Labels is
+// refused with the typed error family at both the engine and the pool
+// boundary, before any work runs.
+func TestHubLabelRequiresLabels(t *testing.T) {
+	g := gen.GNM(50, 150, false, 3)
+	e := core.NewEngine(g, core.Options{})
+	if _, err := e.Query(core.HubLabel, 0, 5); !errors.Is(err, core.ErrLabelsRequired) {
+		t.Fatalf("engine error = %v, want ErrLabelsRequired", err)
+	} else if !errors.Is(err, core.ErrInvalidArgument) {
+		t.Fatalf("error %v does not wrap ErrInvalidArgument", err)
+	}
+	pool := core.NewPool(g, core.Options{}, 1)
+	if _, err := pool.Query(core.HubLabel, 0, 5); !errors.Is(err, core.ErrLabelsRequired) {
+		t.Fatalf("pool error = %v, want ErrLabelsRequired", err)
+	}
+	if _, err := pool.QueryMany(core.HubLabel, []int32{0, 1}, 5); !errors.Is(err, core.ErrLabelsRequired) {
+		t.Fatalf("batch error = %v, want ErrLabelsRequired", err)
+	}
+	if pool.HubLabeled() {
+		t.Error("label-free pool claims HubLabeled")
+	}
+	if pool.HubLabelBytes() != 0 {
+		t.Error("label-free pool reports nonzero HubLabelBytes")
+	}
+}
+
+// TestHubLabelEngineMismatchPanics: attaching a labeling built for a
+// different graph is a construction bug, caught at NewEngine like the
+// other option invariants.
+func TestHubLabelEngineMismatchPanics(t *testing.T) {
+	small := gen.GNM(30, 60, false, 5)
+	big := gen.GNM(40, 80, false, 5)
+	labels, err := hub.BuildLabels(small, hub.Order(small, hub.DegreeFirst, 5, hub.Options{}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEngine accepted a labeling for a different graph")
+		}
+	}()
+	core.NewEngine(big, core.Options{Labels: labels})
+}
+
+// TestHubLabelPool: pooled and batch execution over a shared labeling
+// return the same canonical entries as a standalone engine, and the
+// capability probes report the labeling.
+func TestHubLabelPool(t *testing.T) {
+	g := gen.GNM(200, 900, false, 13)
+	labels, err := hub.BuildLabels(g, hub.Order(g, hub.DegreeFirst, g.N(), hub.Options{}), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := core.NewPool(g, core.Options{Labels: labels}, 4)
+	if !pool.HubLabeled() {
+		t.Fatal("pool does not report HubLabeled")
+	}
+	if pool.HubLabelBytes() != labels.Bytes() {
+		t.Fatalf("HubLabelBytes = %d, want %d", pool.HubLabelBytes(), labels.Bytes())
+	}
+	queries := workload.Random(g, 40, 17)
+	batch, err := pool.QueryManyContext(context.Background(), core.HubLabel, queries, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := core.NewEngine(g, core.Options{Labels: labels})
+	for i, q := range queries {
+		want, err := ref.Query(core.HubLabel, q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Entries, batch[i].Entries) {
+			t.Fatalf("q=%d: batch result differs from standalone", q)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"runtime"
 
 	"rkranks/internal/graph"
+	"rkranks/internal/hub"
 )
 
 // Algorithm selects a query engine.
@@ -28,6 +29,12 @@ const (
 	// Indexed is Dynamic plus the Check / Reverse-Rank dictionaries
 	// (Section 5, Algorithms 3-4). Requires Engine.SetIndex.
 	Indexed
+	// HubLabel is Dynamic plus rank lower bounds derived from a precomputed
+	// pruned 2-hop hub labeling (the ReHub direction): candidates whose
+	// label scan already certifies rank > kRank are pruned without any
+	// Dijkstra work, and only uncertified candidates fall back to CSR rank
+	// refinement. Requires Options.Labels.
+	HubLabel
 )
 
 // ParseAlgorithm maps a user-facing name to an Algorithm.
@@ -41,8 +48,10 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 		return Dynamic, nil
 	case "indexed":
 		return Indexed, nil
+	case "hublabel":
+		return HubLabel, nil
 	}
-	return 0, fmt.Errorf("core: unknown algorithm %q (want naive|static|dynamic|indexed)", name)
+	return 0, fmt.Errorf("core: unknown algorithm %q (want naive|static|dynamic|indexed|hublabel)", name)
 }
 
 // String returns the canonical algorithm name.
@@ -56,6 +65,8 @@ func (a Algorithm) String() string {
 		return "dynamic"
 	case Indexed:
 		return "indexed"
+	case HubLabel:
+		return "hublabel"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
@@ -161,6 +172,14 @@ type Options struct {
 	// (pool size) x (1 + RefineWorkers) against the machine — NewPool
 	// does this automatically for default-sized pools.
 	RefineWorkers int
+
+	// Labels attaches a precomputed pruned 2-hop hub labeling
+	// (hub.BuildLabels / hub.ReadLabels) and enables the HubLabel engine.
+	// The labeling must cover the same graph the engine queries (same node
+	// count and direction — NewEngine panics otherwise, mirroring the
+	// candidate-slice length checks). Labels are read-only and safely
+	// shared by every engine, pool, and shard built from the same Options.
+	Labels *hub.Labels
 }
 
 // refineWorkers resolves the RefineWorkers option to an effective worker

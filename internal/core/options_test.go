@@ -10,6 +10,7 @@ import (
 func TestParseAlgorithm(t *testing.T) {
 	for name, want := range map[string]Algorithm{
 		"naive": Naive, "static": Static, "dynamic": Dynamic, "indexed": Indexed,
+		"hublabel": HubLabel,
 	} {
 		got, err := ParseAlgorithm(name)
 		if err != nil || got != want {

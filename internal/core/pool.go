@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"rkranks/internal/graph"
+	"rkranks/internal/hub"
 	"rkranks/internal/ridx"
 )
 
@@ -25,7 +26,8 @@ import (
 type Pool struct {
 	engines chan *Engine
 	g       *graph.Graph
-	idx     ridx.Index // shared concurrency-safe index, nil for index-free pools
+	idx     ridx.Index  // shared concurrency-safe index, nil for index-free pools
+	labels  *hub.Labels // shared read-only hub labeling (Options.Labels), nil without one
 
 	// Permit accounting: occupied counts engines currently borrowed, peak
 	// is the high-water mark since construction. A response cache sitting
@@ -78,7 +80,7 @@ func newPool(g *graph.Graph, opts Options, size int, ix ridx.Index) *Pool {
 			size = 1
 		}
 	}
-	p := &Pool{engines: make(chan *Engine, size), g: g, idx: ix}
+	p := &Pool{engines: make(chan *Engine, size), g: g, idx: ix, labels: opts.Labels}
 	for i := 0; i < size; i++ {
 		e := NewEngine(g, opts)
 		if ix != nil {
@@ -105,6 +107,20 @@ func (p *Pool) Index() ridx.Index { return p.idx }
 // with NewPoolWithIndex over a shared concurrency-safe index). It is the
 // server.Backend capability probe, shared with cluster coordinators.
 func (p *Pool) Indexed() bool { return p.idx != nil }
+
+// HubLabeled reports whether the pool serves HubLabel queries (its engines
+// were built with Options.Labels). Like Indexed, it is a serving-layer
+// capability probe, shared with cluster coordinators.
+func (p *Pool) HubLabeled() bool { return p.labels != nil }
+
+// HubLabelBytes reports the memory footprint of the shared hub labeling,
+// 0 without one. The serving layer probes this capability for /statsz.
+func (p *Pool) HubLabelBytes() int64 {
+	if p.labels == nil {
+		return 0
+	}
+	return p.labels.Bytes()
+}
 
 // Generation reports the pool's answer-set generation: the shared index's
 // generation counter, or 0 for index-free pools. Response caches key
@@ -148,6 +164,9 @@ func (p *Pool) validate(a Algorithm, k int) error {
 	}
 	if a == Indexed && p.idx == nil {
 		return fmt.Errorf("core: Indexed queries need a shared concurrency-safe index; build the pool with NewPoolWithIndex: %w", ErrIndexRequired)
+	}
+	if a == HubLabel && p.labels == nil {
+		return fmt.Errorf("core: HubLabel queries need a hub labeling; build the pool with Options.Labels: %w", ErrLabelsRequired)
 	}
 	return nil
 }

@@ -66,6 +66,17 @@ type Stats struct {
 	// change effort accounting, never decisions: a replayed refinement
 	// contributes 0 to RefineSettled because no nodes were settled for it.
 	SharedTraversals int `json:"batch_shared_traversals"`
+	// LabelPruned counts HubLabel candidates pruned because the hub-label
+	// scan alone certified Rank > kRank — no Dijkstra work at all (always 0
+	// for the other engines).
+	LabelPruned int `json:"label_pruned"`
+	// LabelFallbacks counts HubLabel candidates the labeling could not
+	// disqualify, which therefore fell back to a CSR Dijkstra rank
+	// refinement. LabelFallbacks / (LabelFallbacks + LabelPruned) is the
+	// fallback rate /statsz reports.
+	LabelFallbacks int `json:"label_fallbacks"`
+	// LabelScanned counts inverted-list entries visited by hub-label scans.
+	LabelScanned int64 `json:"label_entries_scanned"`
 }
 
 // Add accumulates other into s (used when averaging over query batches).
@@ -84,6 +95,9 @@ func (s *Stats) Add(other Stats) {
 	s.SpeculativeWasted += other.SpeculativeWasted
 	s.SpeculativeStolen += other.SpeculativeStolen
 	s.SharedTraversals += other.SharedTraversals
+	s.LabelPruned += other.LabelPruned
+	s.LabelFallbacks += other.LabelFallbacks
+	s.LabelScanned += other.LabelScanned
 }
 
 // Result is the answer to one reverse k-ranks query.

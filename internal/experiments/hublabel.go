@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rkranks/internal/core"
+	"rkranks/internal/graph"
+	"rkranks/internal/hub"
+	"rkranks/internal/stats"
+	"rkranks/internal/workload"
+)
+
+// HubLabelBench extends the paper's evaluation in the ReHub direction
+// (see PAPERS.md): reverse k-ranks answered from a precomputed pruned
+// 2-hop hub labeling instead of per-candidate Dijkstra refinements. For
+// each dataset it builds a COMPLETE labeling (one root per node, degree
+// first — exact label distances for every reachable pair, the strongest
+// query-time pruning and the configuration the committed baseline gates),
+// then times the same workload on Dynamic and on HubLabel, reporting the
+// one-off build cost, the labeling footprint, per-query latency
+// percentiles, how many Dijkstra refinements each engine paid, how many
+// candidates the label scan alone disqualified, and the headline mean
+// speedup. Results are byte-identical between the two engines — only the
+// work columns and the wall clock move.
+func (r *Runner) HubLabelBench() (*stats.Table, error) {
+	t := stats.NewTable("HubLabel: answering from a pruned 2-hop labeling vs Dynamic",
+		"dataset", "engine", "build (s)", "label bytes", "p50 (ms)", "p99 (ms)",
+		"refinements", "label prunes", "speedup vs dynamic")
+	k := defaultK(r.cfg.Ks)
+	road, _ := r.Road()
+	sets := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"dblp", r.DBLP()},
+		{"road", road},
+	}
+	for _, s := range sets {
+		queries := workload.Random(s.g, r.cfg.Queries, r.cfg.Seed+37)
+
+		buildStart := time.Now()
+		roots := hub.Order(s.g, hub.DegreeFirst, s.g.N(), hub.Options{Seed: r.cfg.Seed + 7})
+		labels, err := hub.BuildLabels(s.g, roots, 0)
+		if err != nil {
+			return nil, err
+		}
+		buildSec := time.Since(buildStart).Seconds()
+
+		dyn, err := timeEngine(core.NewEngine(s.g, core.Options{}), core.Dynamic, queries, k)
+		if err != nil {
+			return nil, err
+		}
+		hl, err := timeEngine(core.NewEngine(s.g, core.Options{Labels: labels}), core.HubLabel, queries, k)
+		if err != nil {
+			return nil, err
+		}
+
+		t.Add(s.name, "dynamic", "0.000", 0,
+			fmt.Sprintf("%.4f", 1000*stats.Percentile(dyn.durs, 50)),
+			fmt.Sprintf("%.4f", 1000*stats.Percentile(dyn.durs, 99)),
+			dyn.stats.Refinements, dyn.stats.LabelPruned, "1.00x")
+		t.Add(s.name, "hublabel", fmt.Sprintf("%.3f", buildSec), labels.Bytes(),
+			fmt.Sprintf("%.4f", 1000*stats.Percentile(hl.durs, 50)),
+			fmt.Sprintf("%.4f", 1000*stats.Percentile(hl.durs, 99)),
+			hl.stats.Refinements, hl.stats.LabelPruned,
+			fmt.Sprintf("%.2fx", stats.Mean(dyn.durs)/stats.Mean(hl.durs)))
+	}
+	t.Note("%d queries, k=%d; complete labeling (H = |V|, degree first); both engines return byte-identical results", r.cfg.Queries, k)
+	return t, nil
+}
+
+// timedRun is one engine's pass over the workload: per-query durations in
+// seconds plus the summed work counters.
+type timedRun struct {
+	durs  []float64
+	stats core.Stats
+}
+
+// timeEngine times queries one at a time on e, after an untimed warm-up
+// pass that brings every workspace (heap storage, stamped arrays, the
+// label-scan dedupe array) to its high-water mark.
+func timeEngine(e *core.Engine, algo core.Algorithm, queries []int32, k int) (timedRun, error) {
+	var tr timedRun
+	for _, q := range queries {
+		if _, err := e.Query(algo, q, k); err != nil {
+			return tr, err
+		}
+	}
+	tr.durs = make([]float64, 0, len(queries))
+	for _, q := range queries {
+		start := time.Now()
+		res, err := e.Query(algo, q, k)
+		if err != nil {
+			return tr, err
+		}
+		tr.durs = append(tr.durs, time.Since(start).Seconds())
+		tr.stats.Add(res.Stats)
+	}
+	return tr, nil
+}

@@ -154,12 +154,14 @@ func runBatch(e *core.Engine, algo core.Algorithm, queries []int32, k int) (batc
 }
 
 // Experiment names, in paper order; "serving", "latency", "serving_http",
-// "serving_cluster", and "serving_batch" extend the paper's evaluation
-// with the pooled-concurrency throughput study, the intra-query parallel
-// refinement latency study, the HTTP serving-stack load sweep, the
-// sharded scatter-gather study (rank-floor pruning vs naive gather
-// across shard counts, through internal/cluster), and the batch-scatter
-// plus response-cache study (internal/cache over internal/cluster).
+// "serving_cluster", "serving_batch", and "hublabel" extend the paper's
+// evaluation with the pooled-concurrency throughput study, the
+// intra-query parallel refinement latency study, the HTTP serving-stack
+// load sweep, the sharded scatter-gather study (rank-floor pruning vs
+// naive gather across shard counts, through internal/cluster), the
+// batch-scatter plus response-cache study (internal/cache over
+// internal/cluster), and the hub-label engine study (precomputed 2-hop
+// label pruning vs Dynamic, through internal/hub).
 var names = []string{
 	"table3", "table4", "figure5",
 	"figure6", "naive",
@@ -172,6 +174,7 @@ var names = []string{
 	"serving_http",
 	"serving_cluster",
 	"serving_batch",
+	"hublabel",
 }
 
 // Names lists all experiment identifiers in paper order.
@@ -240,6 +243,9 @@ func (r *Runner) Run(name string) ([]*stats.Table, error) {
 		return wrap(t), err
 	case "serving_batch":
 		t, err := r.ServingBatch()
+		return wrap(t), err
+	case "hublabel":
+		t, err := r.HubLabelBench()
 		return wrap(t), err
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, names)

@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"rkranks/internal/graph"
 	"rkranks/internal/sssp"
@@ -53,18 +55,32 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
-// Options tunes Select.
+// Options tunes Select and Order.
 type Options struct {
 	// Samples is the number of SSSP sources used to approximate closeness
 	// centrality; 0 picks a default that grows slowly with graph size.
 	Samples int
 	// Seed drives all randomness (sampling and Random strategy).
 	Seed int64
+	// Workers bounds the goroutines running closeness-sampling SSSPs;
+	// <= 0 uses GOMAXPROCS. Scores are identical for every worker count.
+	Workers int
 }
 
 // Select returns h hub nodes chosen by the given strategy, sorted by id.
 // h is clamped to the node count.
 func Select(g *graph.Graph, s Strategy, h int, opts Options) []int32 {
+	hubs := Order(g, s, h, opts)
+	sort.Slice(hubs, func(i, j int) bool { return hubs[i] < hubs[j] })
+	return hubs
+}
+
+// Order returns h hub nodes in strategy-priority order — most preferred
+// first (highest degree, highest closeness, or random draw order) — which
+// is the root order label construction wants: earlier roots prune later
+// searches, so the most central nodes must come first. Select is Order
+// followed by an id sort. h is clamped to the node count.
+func Order(g *graph.Graph, s Strategy, h int, opts Options) []int32 {
 	n := g.N()
 	if h > n {
 		h = n
@@ -72,19 +88,16 @@ func Select(g *graph.Graph, s Strategy, h int, opts Options) []int32 {
 	if h <= 0 {
 		return nil
 	}
-	var hubs []int32
 	switch s {
 	case Random:
-		hubs = randomHubs(n, h, opts.Seed)
+		return randomHubs(n, h, opts.Seed)
 	case DegreeFirst:
-		hubs = topBy(n, h, func(v int32) float64 { return float64(g.OutDegree(v)) })
+		return topBy(n, h, func(v int32) float64 { return float64(g.OutDegree(v)) })
 	case ClosenessFirst:
-		hubs = topBy(n, h, closenessScores(g, opts))
+		return topBy(n, h, closenessScores(g, opts))
 	default:
 		panic(fmt.Sprintf("hub: unknown strategy %d", s))
 	}
-	sort.Slice(hubs, func(i, j int) bool { return hubs[i] < hubs[j] })
-	return hubs
 }
 
 func randomHubs(n, h int, seed int64) []int32 {
@@ -118,6 +131,12 @@ func topBy(n, h int, score func(int32) float64) []int32 {
 // by running full SSSPs from a small random sample of sources and summing
 // the observed distances per target. Unreached targets are penalized with
 // the largest finite distance seen, so disconnected fringe nodes score low.
+//
+// The sample SSSPs run on a bounded worker pool (the shared-counter
+// pattern of core.FanOut) — they dominate hub-selection boot cost on road
+// graphs — but the farness accumulation stays serial in sample order, so
+// the floating-point sums and therefore the selected hubs are identical
+// for every worker count.
 func closenessScores(g *graph.Graph, opts Options) func(int32) float64 {
 	n := g.N()
 	samples := opts.Samples
@@ -130,25 +149,54 @@ func closenessScores(g *graph.Graph, opts Options) func(int32) float64 {
 	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5eed))
 	perm := rng.Perm(n)
 
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > samples {
+		workers = samples
+	}
+
 	farness := make([]float64, n)
-	dist := make([]float64, n)
-	s := sssp.New(g)
-	for i := 0; i < samples; i++ {
-		src := int32(perm[i])
-		sssp.AllDistances(s, src, dist)
-		maxFinite := 0.0
-		for _, d := range dist {
-			if !math.IsInf(d, 1) && d > maxFinite {
-				maxFinite = d
-			}
+	// One distance array per wave slot; waves of size `workers` run their
+	// SSSPs concurrently, then a serial pass folds each slot into farness
+	// in sample order.
+	dists := make([][]float64, workers)
+	searches := make([]*sssp.Search, workers)
+	for i := range dists {
+		dists[i] = make([]float64, n)
+		searches[i] = sssp.New(g)
+	}
+	for lo := 0; lo < samples; lo += workers {
+		hi := lo + workers
+		if hi > samples {
+			hi = samples
 		}
-		penalty := 2 * (maxFinite + 1)
-		for v := 0; v < n; v++ {
-			d := dist[v]
-			if math.IsInf(d, 1) {
-				d = penalty
+		var wg sync.WaitGroup
+		for w := 0; w < hi-lo; w++ {
+			wg.Add(1)
+			go func(slot int) {
+				defer wg.Done()
+				sssp.AllDistances(searches[slot], int32(perm[lo+slot]), dists[slot])
+			}(w)
+		}
+		wg.Wait()
+		for i := lo; i < hi; i++ {
+			dist := dists[i-lo]
+			maxFinite := 0.0
+			for _, d := range dist {
+				if !math.IsInf(d, 1) && d > maxFinite {
+					maxFinite = d
+				}
 			}
-			farness[v] += d
+			penalty := 2 * (maxFinite + 1)
+			for v := 0; v < n; v++ {
+				d := dist[v]
+				if math.IsInf(d, 1) {
+					d = penalty
+				}
+				farness[v] += d
+			}
 		}
 	}
 	return func(v int32) float64 {

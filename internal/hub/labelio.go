@@ -1,0 +1,231 @@
+package hub
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// On-disk hub-labeling format: the magic string, a version word, a fixed
+// header (node count, directedness, hub count, slab entry counts), then
+// the flat slabs verbatim in little-endian order. Everything after the
+// header is exactly the in-memory representation, so Write/Read round-trip
+// byte-identically and loading is one validation pass plus bulk reads —
+// no reconstruction. Bump labelVersion on any layout change; readers
+// reject versions they do not understand rather than guessing.
+const (
+	labelMagic   = "RKHL"
+	labelVersion = 1
+)
+
+// maxLabelChunk bounds single allocations while reading untrusted entry
+// counts: slabs are read in chunks so a corrupt header fails on a short
+// read instead of a giant up-front allocation.
+const maxLabelChunk = 1 << 20
+
+// Write serializes the labeling.
+func (l *Labels) Write(w io.Writer) error {
+	if _, err := io.WriteString(w, labelMagic); err != nil {
+		return err
+	}
+	directed := uint64(0)
+	inEntries := uint64(0)
+	if l.directed {
+		directed = 1
+		inEntries = uint64(len(l.inHub))
+	}
+	hdr := []uint64{
+		labelVersion,
+		uint64(l.n),
+		directed,
+		uint64(len(l.hubs)),
+		uint64(len(l.outHub)),
+		inEntries, // 0 for undirected: the in slabs alias the out slabs
+		uint64(len(l.invNode)),
+	}
+	for _, h := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	slabs := []any{l.hubs, l.hubOrd, l.outOff, l.outHub, l.outDist}
+	if l.directed {
+		slabs = append(slabs, l.inOff, l.inHub, l.inDist)
+	}
+	slabs = append(slabs, l.invOff, l.invNode, l.invDist)
+	for _, s := range slabs {
+		if err := binary.Write(w, binary.LittleEndian, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadLabels deserializes a labeling written by Write. The caller is
+// responsible for checking the labeling matches its graph (N, Directed);
+// this function only validates internal consistency.
+func ReadLabels(r io.Reader) (*Labels, error) {
+	magic := make([]byte, len(labelMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != labelMagic {
+		return nil, fmt.Errorf("hub: bad label magic %q", magic)
+	}
+	var hdr [7]uint64
+	for i := range hdr {
+		if err := binary.Read(r, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, err
+		}
+	}
+	if hdr[0] != labelVersion {
+		return nil, fmt.Errorf("hub: unsupported label version %d (want %d)", hdr[0], labelVersion)
+	}
+	n, directed, hubs, outE, inE, invE := hdr[1], hdr[2], hdr[3], hdr[4], hdr[5], hdr[6]
+	if n > math.MaxInt32 || hubs == 0 || hubs > n || directed > 1 ||
+		outE > math.MaxInt32 || inE > math.MaxInt32 || invE > math.MaxInt32 {
+		return nil, fmt.Errorf("hub: corrupt label header: n=%d directed=%d hubs=%d out=%d in=%d inv=%d",
+			n, directed, hubs, outE, inE, invE)
+	}
+	if directed == 0 && inE != 0 {
+		return nil, fmt.Errorf("hub: corrupt label header: undirected labeling with %d in-entries", inE)
+	}
+	l := &Labels{n: int32(n), directed: directed == 1}
+	var err error
+	if l.hubs, err = readInt32s(r, int(hubs)); err != nil {
+		return nil, err
+	}
+	if l.hubOrd, err = readInt32s(r, int(n)); err != nil {
+		return nil, err
+	}
+	if l.outOff, err = readInt32s(r, int(n)+1); err != nil {
+		return nil, err
+	}
+	if l.outHub, err = readInt32s(r, int(outE)); err != nil {
+		return nil, err
+	}
+	if l.outDist, err = readFloat64s(r, int(outE)); err != nil {
+		return nil, err
+	}
+	if l.directed {
+		if l.inOff, err = readInt32s(r, int(n)+1); err != nil {
+			return nil, err
+		}
+		if l.inHub, err = readInt32s(r, int(inE)); err != nil {
+			return nil, err
+		}
+		if l.inDist, err = readFloat64s(r, int(inE)); err != nil {
+			return nil, err
+		}
+	} else {
+		l.inOff, l.inHub, l.inDist = l.outOff, l.outHub, l.outDist
+	}
+	if l.invOff, err = readInt32s(r, int(hubs)+1); err != nil {
+		return nil, err
+	}
+	if l.invNode, err = readInt32s(r, int(invE)); err != nil {
+		return nil, err
+	}
+	if l.invDist, err = readFloat64s(r, int(invE)); err != nil {
+		return nil, err
+	}
+	if err := l.validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// validate cross-checks the deserialized slabs so later queries can index
+// without bounds anxiety: offsets must be monotone and end at the slab
+// length, hub ordinals and node ids in range, hubOrd consistent with hubs.
+func (l *Labels) validate() error {
+	for j, rt := range l.hubs {
+		if rt < 0 || rt >= l.n {
+			return fmt.Errorf("hub: label root %d out of range", rt)
+		}
+		if l.hubOrd[rt] != int32(j) {
+			return fmt.Errorf("hub: root %d has ordinal %d, want %d", rt, l.hubOrd[rt], j)
+		}
+	}
+	for v, ord := range l.hubOrd {
+		if ord < -1 || int(ord) >= len(l.hubs) {
+			return fmt.Errorf("hub: node %d has ordinal %d out of range", v, ord)
+		}
+		if ord >= 0 && l.hubs[ord] != int32(v) {
+			return fmt.Errorf("hub: node %d claims ordinal %d held by %d", v, ord, l.hubs[ord])
+		}
+	}
+	if err := checkOffsets(l.outOff, len(l.outHub), "out"); err != nil {
+		return err
+	}
+	if err := checkOffsets(l.inOff, len(l.inHub), "in"); err != nil {
+		return err
+	}
+	if err := checkOffsets(l.invOff, len(l.invNode), "inverted"); err != nil {
+		return err
+	}
+	for _, h := range l.outHub {
+		if h < 0 || int(h) >= len(l.hubs) {
+			return fmt.Errorf("hub: out-label hub ordinal %d out of range", h)
+		}
+	}
+	for _, h := range l.inHub {
+		if h < 0 || int(h) >= len(l.hubs) {
+			return fmt.Errorf("hub: in-label hub ordinal %d out of range", h)
+		}
+	}
+	for _, t := range l.invNode {
+		if t < 0 || t >= l.n {
+			return fmt.Errorf("hub: inverted-list node %d out of range", t)
+		}
+	}
+	return nil
+}
+
+func checkOffsets(off []int32, entries int, what string) error {
+	if len(off) == 0 || off[0] != 0 || int(off[len(off)-1]) != entries {
+		return fmt.Errorf("hub: corrupt %s-label offsets", what)
+	}
+	for i := 1; i < len(off); i++ {
+		if off[i] < off[i-1] {
+			return fmt.Errorf("hub: non-monotone %s-label offsets at %d", what, i)
+		}
+	}
+	return nil
+}
+
+// readInt32s reads c little-endian int32s in bounded chunks.
+func readInt32s(r io.Reader, c int) ([]int32, error) {
+	out := make([]int32, 0, minInt(c, maxLabelChunk))
+	for c > 0 {
+		chunk := minInt(c, maxLabelChunk)
+		out = append(out, make([]int32, chunk)...)
+		if err := binary.Read(r, binary.LittleEndian, out[len(out)-chunk:]); err != nil {
+			return nil, err
+		}
+		c -= chunk
+	}
+	return out, nil
+}
+
+// readFloat64s reads c little-endian float64s in bounded chunks.
+func readFloat64s(r io.Reader, c int) ([]float64, error) {
+	out := make([]float64, 0, minInt(c, maxLabelChunk))
+	for c > 0 {
+		chunk := minInt(c, maxLabelChunk)
+		out = append(out, make([]float64, chunk)...)
+		if err := binary.Read(r, binary.LittleEndian, out[len(out)-chunk:]); err != nil {
+			return nil, err
+		}
+		c -= chunk
+	}
+	return out, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -119,6 +119,18 @@ type Snapshot struct {
 	// query has forced the views to build.
 	CSRBytes int64 `json:"csr_bytes"`
 
+	// HubLabelBytes is the memory footprint of the hub labeling the
+	// backend's engines answer HubLabel queries from (probed like CSRBytes;
+	// for a cluster, the sum over local shards). 0 without a labeling.
+	HubLabelBytes int64 `json:"hub_label_bytes"`
+
+	// LabelFallbackRate is the share of HubLabel candidate decisions the
+	// labeling could NOT certify, forcing a CSR Dijkstra refinement:
+	// LabelFallbacks / (LabelFallbacks + LabelPruned) over QueryStats.
+	// Low is good — it measures how much of the rank work the precomputed
+	// labels absorb. 0 when no HubLabel queries ran.
+	LabelFallbackRate float64 `json:"label_fallback_rate"`
+
 	// Cluster is the coordinator section — per-shard occupancy, health,
 	// and the scatter-gather latency breakdown — present only when the
 	// backend is a cluster (see cluster.Snapshot for the schema). Typed
@@ -191,6 +203,9 @@ func (m *metrics) snapshot() Snapshot {
 	}
 	if denom := m.query.IndexHits + m.query.Refinements; denom > 0 {
 		snap.IndexHitRate = float64(m.query.IndexHits) / float64(denom)
+	}
+	if denom := m.query.LabelFallbacks + m.query.LabelPruned; denom > 0 {
+		snap.LabelFallbackRate = float64(m.query.LabelFallbacks) / float64(denom)
 	}
 	snap.BatchSharedTraversals = int64(m.query.SharedTraversals)
 	if m.query.Refinements > 0 {

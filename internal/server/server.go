@@ -68,6 +68,11 @@ type Backend interface {
 //   - interface{ CSRBytes() int64 } extends /statsz with the memory
 //     footprint of the packed CSR graph views the backend traverses
 //     (core.Pool implements it; the server's own graph is the fallback);
+//   - interface{ HubLabeled() bool } extends /healthz with whether the
+//     backend serves HubLabel queries, and
+//     interface{ HubLabelBytes() int64 } extends /statsz with the hub
+//     labeling's memory footprint (core.Pool and cluster coordinators
+//     implement both);
 //   - interface{ Unwrap() any } marks a decorator (the response cache):
 //     probes walk the chain, so a cached cluster still reports its
 //     shards;
@@ -489,6 +494,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if sc, ok := probeBackend[interface{ ShardCount() int }](s.backend); ok {
 		doc["shards"] = sc.ShardCount()
 	}
+	if hl, ok := probeBackend[interface{ HubLabeled() bool }](s.backend); ok {
+		doc["hub_labeled"] = hl.HubLabeled()
+	}
 	for k, v := range s.cfg.HealthExtra {
 		if _, reserved := doc[k]; !reserved {
 			doc[k] = v
@@ -514,6 +522,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		snap.CSRBytes = cb.CSRBytes()
 	} else {
 		snap.CSRBytes = s.cfg.Graph.CSRBytes()
+	}
+	if hb, ok := probeBackend[interface{ HubLabelBytes() int64 }](s.backend); ok {
+		snap.HubLabelBytes = hb.HubLabelBytes()
 	}
 	writeJSON(w, http.StatusOK, snap)
 }

@@ -19,7 +19,7 @@
 //	e := rkranks.NewEngine(g, rkranks.Options{})
 //	res, err := e.Query(rkranks.Dynamic, alice, 2)
 //
-// Four engines share one result semantics and differ only in cost:
+// Five engines share one result semantics and differ only in cost:
 //
 //   - Naive — brute force over all nodes (baseline).
 //   - Static — SDS-tree filter-and-refine (paper Section 3).
@@ -28,6 +28,10 @@
 //   - Indexed — Dynamic plus the Check/Reverse-Rank dictionaries
 //     (Section 5); fastest once an Index is built, and the index keeps
 //     improving as queries run.
+//   - HubLabel — Dynamic plus rank lower bounds read off a precomputed
+//     pruned 2-hop hub labeling (BuildHubLabels, Options.Labels): most
+//     candidates are disqualified by a label scan alone, without any
+//     per-candidate Dijkstra work.
 //
 // Bichromatic queries (Definitions 3-4: query nodes of one class, results
 // of another, e.g. stores and communities on a road network) are selected
@@ -160,14 +164,21 @@ type (
 	// CacheSnapshot reports a response cache's counters
 	// (CachedBackend.Cache().Stats()).
 	CacheSnapshot = cache.Snapshot
+	// HubLabels is a pruned 2-hop hub labeling: per-node sorted hub
+	// distance lists plus per-hub inverted lists, built once with
+	// BuildHubLabels and shared read-only by any number of engines via
+	// Options.Labels to enable the HubLabel engine (see SaveHubLabels /
+	// LoadHubLabels for the on-disk form).
+	HubLabels = hub.Labels
 )
 
 // Algorithm values.
 const (
-	Naive   = core.Naive
-	Static  = core.Static
-	Dynamic = core.Dynamic
-	Indexed = core.Indexed
+	Naive    = core.Naive
+	Static   = core.Static
+	Dynamic  = core.Dynamic
+	Indexed  = core.Indexed
+	HubLabel = core.HubLabel
 )
 
 // Bound components (see the paper's Theorem 2 and Tables 12-13).
@@ -201,6 +212,7 @@ var (
 	ErrInvalidK         = core.ErrInvalidK
 	ErrInvalidQueryNode = core.ErrInvalidQueryNode
 	ErrIndexRequired    = core.ErrIndexRequired
+	ErrLabelsRequired   = core.ErrLabelsRequired
 )
 
 // NewBuilder returns a graph builder; directed selects edge orientation.
@@ -344,6 +356,71 @@ func LoadConcurrentIndex(path string) (*ConcurrentIndex, error) {
 	}
 	defer f.Close()
 	return ridx.ReadSharded(f)
+}
+
+// HubLabelParams configures BuildHubLabels.
+type HubLabelParams struct {
+	// Count is the number of hub roots H (clamped to |V|; <= 0 defaults to
+	// |V|, a complete labeling — exact distances for every reachable pair
+	// and the strongest query-time pruning). Partial labelings (H < |V|)
+	// cost less to build and store; the engine simply falls back to CSR
+	// refinements more often.
+	Count int
+	// Strategy orders the roots; the zero value is RandomHubs, and
+	// DegreeHubs prunes best on the skewed-degree graphs of the paper.
+	Strategy HubStrategy
+	// Workers bounds build parallelism (<= 0 uses GOMAXPROCS). The
+	// labeling is identical for every worker count.
+	Workers int
+	// Samples and Seed configure root selection exactly like IndexParams
+	// (Samples only matters for ClosenessHubs; 0 picks a default).
+	Samples int
+	Seed    int64
+}
+
+// BuildHubLabels precomputes a pruned 2-hop hub labeling of g for the
+// HubLabel engine: roots chosen by the strategy, a pruned Dijkstra per
+// root, with label entries kept only where no earlier root already covers
+// the pair. Attach the result to engines via Options.Labels (it is
+// read-only after construction and safe to share across a whole Pool or
+// Cluster):
+//
+//	labels, _ := rkranks.BuildHubLabels(g, rkranks.HubLabelParams{Strategy: rkranks.DegreeHubs})
+//	pool := rkranks.NewPool(g, rkranks.Options{Labels: labels}, 0)
+//	res, _ := pool.Query(rkranks.HubLabel, q, 10)
+func BuildHubLabels(g *Graph, p HubLabelParams) (*HubLabels, error) {
+	h := p.Count
+	if h <= 0 || h > g.N() {
+		h = g.N()
+	}
+	roots := hub.Order(g, p.Strategy, h, hub.Options{Samples: p.Samples, Seed: p.Seed, Workers: p.Workers})
+	return hub.BuildLabels(g, roots, p.Workers)
+}
+
+// SaveHubLabels writes a hub labeling to a file in the versioned binary
+// format rkserve and rkcluster load with -hub-load.
+func SaveHubLabels(path string, l *HubLabels) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := l.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadHubLabels reads a labeling written by SaveHubLabels. The labeling
+// records the graph's node count and direction; NewEngine rejects a
+// mismatch against the graph it is attached to.
+func LoadHubLabels(path string) (*HubLabels, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return hub.ReadLabels(f)
 }
 
 // ReadGraph loads a graph from a file (binary for the ".rkg" extension,

@@ -38,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"rkranks"
 	"rkranks/internal/experiments"
 	"rkranks/internal/server"
 	"rkranks/internal/stats"
@@ -219,7 +220,7 @@ type loadGenParams struct {
 // prints (and with -json records) one row per offered rate. Query nodes
 // are sampled uniformly from the server's graph, discovered via /healthz.
 func runLoadGen(stdout io.Writer, p loadGenParams) error {
-	client := server.NewClient(p.url)
+	client := rkranks.NewClient(p.url)
 	doc, err := client.Health(context.Background())
 	if err != nil {
 		return fmt.Errorf("load generator: server not healthy: %w", err)

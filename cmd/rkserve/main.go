@@ -13,6 +13,7 @@
 //	rkserve -graph g.rkg -hub-count -1 -hub-save g.rkhl     # build a complete hub labeling, save, serve hublabel
 //	rkserve -graph g.rkg -hub-load g.rkhl                   # serve hublabel from a prebuilt labeling
 //	rkserve -graph g.rkg -shard 0/4                         # serve vertex shard 0 of 4 (see cmd/rkcluster)
+//	rkserve -graph g.rkg -live                              # mutable graph: POST /v1/mutate applies live batches
 //
 // With -shard i/P the instance answers queries for its own vertex shard
 // only (an internal/cluster partitioner mask over the candidate class);
@@ -20,8 +21,8 @@
 // whole graph. Every shard must load the SAME graph and agree on
 // (-shard-partitioner, P).
 //
-// Endpoints: POST /v1/query, POST /v1/batch, GET /healthz, GET /statsz
-// (see internal/server). On SIGTERM/SIGINT the server drains: admission
+// Endpoints: POST /v1/query, POST /v1/batch, POST /v1/mutate (with
+// -live), GET /healthz, GET /statsz (see internal/server). On SIGTERM/SIGINT the server drains: admission
 // stops (503), every in-flight request completes, then the process exits.
 package main
 
@@ -44,6 +45,7 @@ import (
 	"rkranks/internal/gen"
 	"rkranks/internal/graph"
 	"rkranks/internal/hub"
+	"rkranks/internal/live"
 	"rkranks/internal/ridx"
 	"rkranks/internal/server"
 )
@@ -83,6 +85,8 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 		shardSpec = fs.String("shard", "", "serve one vertex shard, as i/P (e.g. 0/4); the coordinator must use the same partitioner and P")
 		shardPart = fs.String("shard-partitioner", "modulo", "partitioner for -shard: modulo|degree")
 
+		liveMode = fs.Bool("live", false, "serve a mutable graph behind POST /v1/mutate: weight changes patch in place, topology changes rebuild and swap")
+
 		cacheMB   = fs.Int("cache-mb", 0, "response cache budget in MiB (0 disables); duplicate in-flight queries coalesce onto one engine permit")
 		poolSize  = fs.Int("pool", 0, "engine pool size (0 = GOMAXPROCS-derived)")
 		refine    = fs.Int("refine-workers", 0, "intra-query refine workers per engine")
@@ -105,8 +109,8 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 	}
 	logger.Info("graph loaded", slog.Int("nodes", g.N()), slog.Int64("edges", g.M()), slog.Bool("directed", g.Directed()))
 
-	var pool *core.Pool
 	var healthExtra map[string]any
+	var shardNo, shardCount int
 	opts := core.Options{RefineWorkers: *refine}
 	if *shardSpec != "" {
 		mask, shard, shards, err := shardMask(g, *shardSpec, *shardPart)
@@ -114,6 +118,7 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 			return err
 		}
 		opts.Candidates = mask
+		shardNo, shardCount = shard, shards
 		// Published on /healthz so a rkcluster coordinator can verify
 		// shard ownership at startup (see cluster.NewRemoteShard).
 		healthExtra = map[string]any{
@@ -131,19 +136,45 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	opts.Labels = labels
-	if ix != nil {
-		if pool, err = core.NewPoolWithIndex(g, opts, *poolSize, ix); err != nil {
+	var inner cache.Target
+	if *liveMode {
+		lcfg := live.Config{Options: opts, PoolSize: *poolSize, Index: ix, Labels: labels}
+		if *shardSpec != "" {
+			// Rebuilds must recompute the shard mask: the boot-time mask
+			// does not cover vertices added after boot.
+			part, err := cluster.ParsePartitioner(*shardPart)
+			if err != nil {
+				return err
+			}
+			lcfg.CandidateFunc = func(g2 *graph.Graph) ([]bool, error) {
+				return cluster.ShardMask(g2, part, shardCount, shardNo, nil)
+			}
+		}
+		store, err := live.NewStore(g, lcfg)
+		if err != nil {
 			return err
 		}
+		inner = store
+		logger.Info("live store ready", slog.Int("engines", store.Size()),
+			slog.Bool("indexed", ix != nil), slog.Bool("hub_labeled", labels != nil),
+			slog.Uint64("generation", store.Generation()))
 	} else {
-		pool = core.NewPool(g, opts, *poolSize)
+		var pool *core.Pool
+		opts.Labels = labels
+		if ix != nil {
+			if pool, err = core.NewPoolWithIndex(g, opts, *poolSize, ix); err != nil {
+				return err
+			}
+		} else {
+			pool = core.NewPool(g, opts, *poolSize)
+		}
+		inner = pool
+		logger.Info("pool ready", slog.Int("engines", pool.Size()), slog.Bool("indexed", ix != nil), slog.Bool("hub_labeled", labels != nil))
 	}
-	logger.Info("pool ready", slog.Int("engines", pool.Size()), slog.Bool("indexed", ix != nil), slog.Bool("hub_labeled", labels != nil))
 
-	var backend server.Backend = pool
+	var backend server.Backend = inner
 	if *cacheMB > 0 {
-		cached, err := cache.NewBackend(pool, cache.Config{MaxBytes: int64(*cacheMB) << 20})
+		cached, err := cache.NewBackend(inner, cache.Config{MaxBytes: int64(*cacheMB) << 20})
 		if err != nil {
 			return err
 		}

@@ -52,7 +52,7 @@ func main() {
 	fmt.Printf("serving %d-node graph at %s (pool %d engines, shared index)\n\n",
 		g.N(), ts.URL, pool.Size())
 
-	client := server.NewClient(ts.URL)
+	client := rkranks.NewClient(ts.URL)
 	ctx := context.Background()
 
 	// Concurrent clients: every query's refinements improve the shared

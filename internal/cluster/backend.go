@@ -7,11 +7,12 @@ import (
 	"net/http"
 	"time"
 
+	"rkranks/internal/api"
 	"rkranks/internal/core"
 	"rkranks/internal/graph"
+	"rkranks/internal/live"
 	"rkranks/internal/rank"
 	"rkranks/internal/ridx"
-	"rkranks/internal/server"
 )
 
 // A ShardBackend answers reverse k-ranks queries for one vertex shard: the
@@ -115,7 +116,7 @@ func (s *LocalShard) Close() error { return nil }
 // -shard i/P so its pool's candidate class is that shard's mask) through
 // the /v1/query wire contract.
 type RemoteShard struct {
-	client     *server.Client
+	client     *api.Client
 	url        string
 	size       int
 	indexed    bool
@@ -142,7 +143,7 @@ type RemoteExpect struct {
 // NewRemoteShard dials url's /healthz to learn the backend's capacity and
 // index state, and verifies it against expect.
 func NewRemoteShard(ctx context.Context, url string, expect RemoteExpect) (*RemoteShard, error) {
-	c := server.NewClient(url)
+	c := api.NewClient(url)
 	doc, err := c.Health(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: shard %s: %w", url, err)
@@ -176,11 +177,11 @@ func NewRemoteShard(ctx context.Context, url string, expect RemoteExpect) (*Remo
 // Query implements ShardBackend, mapping wire errors back to the typed
 // errors the engine layer would have returned in process: client-fault
 // responses to the core.ErrInvalidArgument family, deadline expiry to
-// context.DeadlineExceeded. 429s keep their server.StatusError (with the
+// context.DeadlineExceeded. 429s keep their api.StatusError (with the
 // parsed Retry-After) so the coordinator can aggregate overload hints;
 // everything else is a shard availability failure.
 func (s *RemoteShard) Query(ctx context.Context, a core.Algorithm, q int32, k int) (*core.Result, error) {
-	resp, err := s.client.Query(ctx, a.String(), q, k, 0)
+	resp, err := s.client.Query(ctx, api.AlgorithmOf(a), q, k, 0)
 	if err != nil {
 		return nil, s.mapError(err)
 	}
@@ -190,7 +191,7 @@ func (s *RemoteShard) Query(ctx context.Context, a core.Algorithm, q int32, k in
 // mapError translates a wire error into the typed error the engine layer
 // would have returned in process (see Query's contract).
 func (s *RemoteShard) mapError(err error) error {
-	var se *server.StatusError
+	var se *api.StatusError
 	if errors.As(err, &se) {
 		switch se.Status {
 		case http.StatusBadRequest:
@@ -202,13 +203,14 @@ func (s *RemoteShard) mapError(err error) error {
 	return err
 }
 
-// wireResult rebuilds a core.Result from its wire form.
-func wireResult(resp *server.QueryResponse, q int32, k int) *core.Result {
+// wireResult rebuilds a core.Result from its wire form, including the
+// generation stamp the coordinator's merge-consistency check compares.
+func wireResult(resp *api.QueryResponse, q int32, k int) *core.Result {
 	entries := make([]rank.Entry, len(resp.Entries))
 	for i, e := range resp.Entries {
 		entries[i] = rank.Entry{Node: e.Node, Rank: e.Rank}
 	}
-	res := &core.Result{Query: q, K: k, Entries: entries, Partial: resp.Partial}
+	res := &core.Result{Query: q, K: k, Entries: entries, Partial: resp.Partial, Generation: resp.Generation}
 	if resp.Stats != nil {
 		res.Stats = *resp.Stats
 	}
@@ -219,7 +221,7 @@ func wireResult(resp *server.QueryResponse, q int32, k int) *core.Result {
 // the wire counterpart of the coordinator's batch scatter. Errors map
 // exactly like Query's.
 func (s *RemoteShard) QueryBatch(ctx context.Context, a core.Algorithm, queries []int32, k int) ([]*core.Result, error) {
-	resp, err := s.client.Batch(ctx, a.String(), queries, k, 0)
+	resp, err := s.client.Batch(ctx, api.AlgorithmOf(a), queries, k, 0)
 	if err != nil {
 		return nil, s.mapError(err)
 	}
@@ -249,14 +251,132 @@ func (s *RemoteShard) Describe() string { return "remote[" + s.url + "]" }
 // Close implements ShardBackend.
 func (s *RemoteShard) Close() error { return nil }
 
+// Mutate fans one mutation batch to the remote backend's /v1/mutate. A
+// 501 means the backend was booted without live mutations; the
+// coordinator maps it to ImmutableShardError.
+func (s *RemoteShard) Mutate(ctx context.Context, ms []graph.Mutation) (live.MutateInfo, error) {
+	resp, err := s.client.Mutate(ctx, ms, 0)
+	if err != nil {
+		return live.MutateInfo{}, s.mapError(err)
+	}
+	return live.MutateInfo{
+		Applied:    resp.Applied,
+		Generation: resp.Generation,
+		Rebuilt:    resp.Rebuilt,
+		Nodes:      resp.Nodes,
+		Edges:      resp.Edges,
+	}, nil
+}
+
+// LiveShard serves a shard from an in-process live store: the mutable
+// counterpart of LocalShard. Its candidate mask is recomputed from the
+// partitioner on every topology rebuild, so vertices added after boot
+// still land in exactly one shard's candidate class. Unlike LocalShard
+// pools, live shards do NOT share a dynamic index — each store owns its
+// index lifecycle (a rebuild swaps in a fresh one per shard).
+type LiveShard struct {
+	store *live.Store
+	desc  string
+}
+
+// NewLiveShard builds the shard'th of shards live backends over g. cfg is
+// the per-shard live configuration; its CandidateFunc is overwritten with
+// the partitioner's mask (cfg.Options.Candidates, when set, restricts it,
+// bichromatic-style, and is extended with true for post-boot vertices).
+func NewLiveShard(g *graph.Graph, cfg live.Config, part Partitioner, shards, shard int) (*LiveShard, error) {
+	if part == nil {
+		part = Modulo{}
+	}
+	restrict := cfg.Options.Candidates
+	cfg.CandidateFunc = func(g2 *graph.Graph) ([]bool, error) {
+		return ShardMask(g2, part, shards, shard, growMask(restrict, g2.N()))
+	}
+	// Every shard needs a PRIVATE graph: weight patches rewrite the CSR
+	// arrays in place under the owning store's epoch barrier, which
+	// cannot hold out another shard's readers. The copy is byte-identical
+	// to g (CSR construction is canonical), so answers are unaffected.
+	store, err := live.NewStore(graph.NewEdgeStore(g).Build(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &LiveShard{
+		store: store,
+		desc:  fmt.Sprintf("live[%d/%d %s]", shard, shards, part.Name()),
+	}, nil
+}
+
+// growMask extends a class mask to n nodes, admitting post-boot vertices.
+func growMask(mask []bool, n int) []bool {
+	if mask == nil || len(mask) >= n {
+		return mask
+	}
+	out := make([]bool, n)
+	copy(out, mask)
+	for i := len(mask); i < n; i++ {
+		out[i] = true
+	}
+	return out
+}
+
+// Store exposes the shard's live store (tests and introspection).
+func (s *LiveShard) Store() *live.Store { return s.store }
+
+// Query implements ShardBackend.
+func (s *LiveShard) Query(ctx context.Context, a core.Algorithm, q int32, k int) (*core.Result, error) {
+	return s.store.QueryContext(ctx, a, q, k)
+}
+
+// QueryBatch implements ShardBackend.
+func (s *LiveShard) QueryBatch(ctx context.Context, a core.Algorithm, queries []int32, k int) ([]*core.Result, error) {
+	return s.store.QueryManyContext(ctx, a, queries, k)
+}
+
+// Mutate applies one batch to the shard's store.
+func (s *LiveShard) Mutate(ctx context.Context, ms []graph.Mutation) (live.MutateInfo, error) {
+	return s.store.Mutate(ctx, ms)
+}
+
+// Generation exposes the store's graph generation (cache keying and the
+// coordinator's merge-consistency check).
+func (s *LiveShard) Generation() uint64 { return s.store.Generation() }
+
+// MutationSnapshot exposes the store's mutation counters for the
+// coordinator's /statsz aggregation.
+func (s *LiveShard) MutationSnapshot() any { return s.store.MutationSnapshot() }
+
+// Size implements ShardBackend.
+func (s *LiveShard) Size() int { return s.store.Size() }
+
+// Indexed implements ShardBackend.
+func (s *LiveShard) Indexed() bool { return s.store.Indexed() }
+
+// HubLabeled reports whether the shard serves HubLabel queries (possibly
+// through the store's Dynamic fallback while relabeling).
+func (s *LiveShard) HubLabeled() bool { return s.store.HubLabeled() }
+
+// HubLabelBytes reports the shard labeling's footprint.
+func (s *LiveShard) HubLabelBytes() int64 { return s.store.HubLabelBytes() }
+
+// Describe implements ShardBackend.
+func (s *LiveShard) Describe() string { return s.desc }
+
+// Close implements ShardBackend.
+func (s *LiveShard) Close() error { return nil }
+
 // overloadHint extracts the Retry-After of a shard 429, reporting whether
 // err is an overload shed at all.
 func overloadHint(err error) (time.Duration, bool) {
-	var se *server.StatusError
+	var se *api.StatusError
 	if errors.As(err, &se) && se.Status == http.StatusTooManyRequests {
 		return se.RetryAfter, true
 	}
 	return 0, false
+}
+
+// immutableRemote reports a 501 from a remote shard's /v1/mutate.
+func immutableRemote(err error) bool {
+	var se *api.StatusError
+	return errors.As(err, &se) && se.Status == http.StatusNotImplemented
 }
 
 // fatalQueryError reports errors the coordinator must propagate verbatim

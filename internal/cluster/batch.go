@@ -120,17 +120,37 @@ func (c *Coordinator) batchScatter(ctx context.Context, a core.Algorithm, querie
 
 	results := make([]*core.Result, len(queries))
 	column := make([]*core.Result, P)
+	var skewed []int
 	for qi, q := range queries {
 		for s := 0; s < P; s++ {
 			column[s] = st.perShard[s][qi]
 		}
-		results[qi] = &core.Result{
-			Query:   q,
-			K:       k,
-			Entries: mergeTopK(column, k),
-			Partial: st.partial[qi],
-			Stats:   st.stats[qi],
+		gen, skew := commonGeneration(column)
+		if skew {
+			// A mutation batch landed between this query's shard answers;
+			// its column cannot be merged. Collect it for a clean re-scatter
+			// below instead of failing the whole batch.
+			skewed = append(skewed, qi)
+			continue
 		}
+		results[qi] = &core.Result{
+			Query:      q,
+			K:          k,
+			Entries:    mergeTopK(column, k),
+			Partial:    st.partial[qi],
+			Generation: gen,
+			Stats:      st.stats[qi],
+		}
+	}
+	// Re-scatter skewed queries one by one through the single-query path,
+	// which carries its own skew retry loop; a failure there means the
+	// shards genuinely diverged and the batch surfaces it.
+	for _, qi := range skewed {
+		res, err := c.QueryContext(ctx, a, queries[qi], k)
+		if err != nil {
+			return nil, err
+		}
+		results[qi] = res
 	}
 	c.metrics.observeBatch(time.Since(start), st.maxShard, st.rpcs, len(queries),
 		st.transferred, escalations, shortCircuited)

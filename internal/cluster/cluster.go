@@ -46,12 +46,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rkranks/internal/core"
 	"rkranks/internal/graph"
+	"rkranks/internal/live"
 	"rkranks/internal/ridx"
 )
 
@@ -172,6 +174,11 @@ type Coordinator struct {
 	health   []shardHealth
 	metrics  *metrics
 	closed   atomic.Bool
+
+	// mutateMu serializes cluster-wide mutation batches so shard
+	// generations advance in lockstep: batch n lands everywhere before
+	// batch n+1 starts anywhere.
+	mutateMu sync.Mutex
 }
 
 // New builds a coordinator over the given shard backends. The backends
@@ -201,6 +208,33 @@ func NewLocal(g *graph.Graph, opts core.Options, part Partitioner, shards, poolS
 	backends := make([]ShardBackend, shards)
 	for i := 0; i < shards; i++ {
 		ls, err := NewLocalShard(g, opts, part, shards, i, poolSize, ix)
+		if err != nil {
+			return nil, err
+		}
+		backends[i] = ls
+	}
+	return New(backends, cfg)
+}
+
+// NewLocalLive builds an in-process MUTABLE cluster: one live store per
+// vertex shard over g, each owning its masked candidate class, pool, and
+// (when indexMaxK > 0) its own empty concurrency-safe index that learns
+// from the shard's traffic. base carries the shared live configuration;
+// its Index and CandidateFunc fields are overwritten per shard (live
+// shards cannot share one index — each store swaps in a fresh one on
+// topology rebuilds). The coordinator's Mutate fans batches to every
+// shard.
+func NewLocalLive(g *graph.Graph, base live.Config, indexMaxK int, part Partitioner, shards int, cfg Config) (*Coordinator, error) {
+	if part == nil {
+		part = Modulo{}
+	}
+	backends := make([]ShardBackend, shards)
+	for i := 0; i < shards; i++ {
+		shardCfg := base
+		if indexMaxK > 0 {
+			shardCfg.Index = ridx.NewSharded(g.N(), indexMaxK)
+		}
+		ls, err := NewLiveShard(g, shardCfg, part, shards, i)
 		if err != nil {
 			return nil, err
 		}
@@ -265,14 +299,21 @@ func (c *Coordinator) HubLabelBytes() int64 {
 }
 
 // Generation implements the response-cache answer-set-generation probe:
-// the sum of the shard backends' generations (remote shards, which do
-// not expose one, contribute 0). Any shard invalidating its answers
-// moves the sum, orphaning every cached cluster response.
+// the maximum of the shard backends' generations (remote shards, which
+// do not expose one, contribute 0). Mutation fan-outs keep live shards
+// in lockstep, so in the healthy state this IS the cluster's common
+// generation — the one Mutate reports and merged results are stamped
+// with. It is also sound as a cache key: a complete (cacheable) merge
+// only exists when every generation-bearing shard agrees on a value G,
+// and the maximum equals exactly that G — skewed states can never
+// produce a complete result under a colliding key.
 func (c *Coordinator) Generation() uint64 {
 	var gen uint64
 	for _, b := range c.backends {
 		if gp, ok := b.(interface{ Generation() uint64 }); ok {
-			gen += gp.Generation()
+			if g := gp.Generation(); g > gen {
+				gen = g
+			}
 		}
 	}
 	return gen
@@ -330,15 +371,39 @@ type gatherState struct {
 	answered    int
 }
 
+// skewRetries is how many times a query whose merge observed mixed graph
+// generations is re-scattered before GenerationSkewError surfaces. A
+// mutation batch's swap window is microseconds per shard, so one retry
+// almost always lands entirely after it; persistent skew means the shards
+// genuinely diverged (a partially failed mutation fan-out).
+const skewRetries = 2
+
 // QueryContext answers one reverse k-ranks query by scatter-gather:
 // round one at the reduced first-round k, rank-floor certification, then
 // a full-k round for only the shards the merge could not certify. The
 // request context (deadline, cancellation) is passed through to every
 // shard RPC.
+//
+// Merges are generation-consistent: when shard answers carry live-store
+// generation stamps, a merge across two generations (a mutation batch
+// landed mid-scatter) is refused and the whole scatter retried; see
+// GenerationSkewError.
 func (c *Coordinator) QueryContext(ctx context.Context, a core.Algorithm, q int32, k int) (*core.Result, error) {
 	if err := core.ValidateRequest(a, k); err != nil {
 		return nil, err
 	}
+	for attempt := 0; ; attempt++ {
+		res, err := c.queryOnce(ctx, a, q, k)
+		var gs *GenerationSkewError
+		if errors.As(err, &gs) && attempt < skewRetries && ctx.Err() == nil {
+			continue
+		}
+		return res, err
+	}
+}
+
+// queryOnce is one scatter-gather attempt of QueryContext.
+func (c *Coordinator) queryOnce(ctx context.Context, a core.Algorithm, q int32, k int) (*core.Result, error) {
 	start := time.Now()
 	P := len(c.backends)
 
@@ -383,15 +448,56 @@ func (c *Coordinator) QueryContext(ctx context.Context, a core.Algorithm, q int3
 		return nil, &ShardError{Shard: targets[0], Err: errors.New("no shard answered")}
 	}
 
+	gen, skewed := commonGeneration(st.results)
+	if skewed {
+		return nil, &GenerationSkewError{Query: q, Generations: distinctGenerations(st.results)}
+	}
 	res := &core.Result{
-		Query:   q,
-		K:       k,
-		Entries: mergeTopK(st.results, k),
-		Partial: st.partial,
-		Stats:   st.stats,
+		Query:      q,
+		K:          k,
+		Entries:    mergeTopK(st.results, k),
+		Partial:    st.partial,
+		Generation: gen,
+		Stats:      st.stats,
 	}
 	c.metrics.observeQuery(time.Since(start), st.maxShard, st.transferred, len(escalate), shortCircuited, st.partial)
 	return res, nil
+}
+
+// commonGeneration extracts the one generation stamp a set of shard
+// answers agrees on. Zero stamps mean "backend without live mutations"
+// (live stores start at generation 1) and are ignored; two distinct
+// nonzero stamps mean a mutation landed between shard answers and the
+// merge must be refused.
+func commonGeneration(results []*core.Result) (gen uint64, skewed bool) {
+	for _, r := range results {
+		if r == nil || r.Generation == 0 {
+			continue
+		}
+		if gen == 0 {
+			gen = r.Generation
+			continue
+		}
+		if r.Generation != gen {
+			return 0, true
+		}
+	}
+	return gen, false
+}
+
+// distinctGenerations lists the distinct nonzero stamps, ascending (error
+// reporting only).
+func distinctGenerations(results []*core.Result) []uint64 {
+	seen := map[uint64]bool{}
+	var out []uint64
+	for _, r := range results {
+		if r != nil && r.Generation != 0 && !seen[r.Generation] {
+			seen[r.Generation] = true
+			out = append(out, r.Generation)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // availableShards splits the shard ids by health state, claiming the
@@ -534,7 +640,92 @@ func (c *Coordinator) QueryManyContext(ctx context.Context, a core.Algorithm, qu
 	return c.batchScatter(ctx, a, queries, k)
 }
 
+// shardMutator is the per-shard mutation capability (LiveShard in
+// process, RemoteShard over /v1/mutate).
+type shardMutator interface {
+	Mutate(ctx context.Context, ms []graph.Mutation) (live.MutateInfo, error)
+}
+
+// Mutate implements the server Mutator probe for a cluster: one mutation
+// batch is fanned to EVERY shard backend — each holds the whole graph, so
+// each applies the whole batch — and the coordinator serializes batches
+// so shard generations advance in lockstep. A shard that fails its first
+// attempt is retried once; surviving failures return a MutationError and
+// leave the cluster generation-skewed, which the query path detects and
+// refuses to merge across (see GenerationSkewError) — correctness is
+// preserved, availability degrades until the shards converge.
+func (c *Coordinator) Mutate(ctx context.Context, ms []graph.Mutation) (live.MutateInfo, error) {
+	muts := make([]shardMutator, len(c.backends))
+	for i, b := range c.backends {
+		m, ok := b.(shardMutator)
+		if !ok {
+			return live.MutateInfo{}, &ImmutableShardError{Shard: i}
+		}
+		muts[i] = m
+	}
+	c.mutateMu.Lock()
+	defer c.mutateMu.Unlock()
+
+	infos := make([]live.MutateInfo, len(muts))
+	errs := make([]error, len(muts))
+	var wg sync.WaitGroup
+	for i, m := range muts {
+		wg.Add(1)
+		go func(i int, m shardMutator) {
+			defer wg.Done()
+			infos[i], errs[i] = m.Mutate(ctx, ms)
+			if errs[i] != nil && !fatalQueryError(errs[i]) && !immutableRemote(errs[i]) {
+				// One retry absorbs transient shard hiccups; validation
+				// errors and 501s would fail identically again.
+				infos[i], errs[i] = m.Mutate(ctx, ms)
+			}
+		}(i, m)
+	}
+	wg.Wait()
+
+	failed := map[int]error{}
+	for i, err := range errs {
+		switch {
+		case err == nil:
+		case immutableRemote(err):
+			return live.MutateInfo{}, &ImmutableShardError{Shard: i}
+		case errors.Is(err, core.ErrInvalidArgument):
+			// The batch itself is bad; every shard refused it identically
+			// and none applied it, so the cluster is still converged.
+			return live.MutateInfo{}, err
+		default:
+			failed[i] = err
+		}
+	}
+	if len(failed) > 0 {
+		return live.MutateInfo{}, &MutationError{Failed: failed}
+	}
+	info := infos[0]
+	for _, in := range infos[1:] {
+		info.Rebuilt = info.Rebuilt || in.Rebuilt
+	}
+	return info, nil
+}
+
+// MutationSnapshot aggregates the shards' mutation counters for /statsz
+// (nil when no shard is live).
+func (c *Coordinator) MutationSnapshot() any {
+	out := make(map[string]any)
+	for i, b := range c.backends {
+		if msn, ok := b.(interface{ MutationSnapshot() any }); ok {
+			out[fmt.Sprintf("shard_%d", i)] = msn.MutationSnapshot()
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
 var (
 	_ ShardBackend = (*LocalShard)(nil)
 	_ ShardBackend = (*RemoteShard)(nil)
+	_ ShardBackend = (*LiveShard)(nil)
+	_ shardMutator = (*LiveShard)(nil)
+	_ shardMutator = (*RemoteShard)(nil)
 )

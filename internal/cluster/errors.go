@@ -4,7 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"time"
+
+	"rkranks/internal/api"
 )
 
 // ErrShardUnavailable is the root of every shard-availability error: a
@@ -57,3 +60,72 @@ func (e *OverloadedError) HTTPStatus() (int, string) {
 
 // RetryAfterHint implements the server Retry-After probe.
 func (e *OverloadedError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
+// GenerationSkewError reports a merge the coordinator refused because
+// shard answers carried different graph generations: a mutation batch was
+// landing while the query scattered, and a result merged across two
+// generations would be silently wrong. The coordinator retries the whole
+// scatter a few times before surfacing this; by then the skew is real
+// (e.g. a mutation fan-out partially failed), and the caller should retry
+// once the shards converge.
+type GenerationSkewError struct {
+	// Query is the query node whose merge was refused.
+	Query int32
+	// Generations is the distinct generation stamps observed (ascending).
+	Generations []uint64
+}
+
+func (e *GenerationSkewError) Error() string {
+	return fmt.Sprintf("cluster: query %d observed shards on graph generations %v mid-mutation; retry", e.Query, e.Generations)
+}
+
+// HTTPStatus implements the server error-mapping probe: skew is a
+// transient consistency refusal, 503 like an unavailable shard.
+func (e *GenerationSkewError) HTTPStatus() (int, string) {
+	return http.StatusServiceUnavailable, api.CodeGenerationSkew
+}
+
+// ImmutableShardError reports a mutation fanned to a shard backend that
+// cannot apply it (a LocalShard or a remote rkserve booted without -live).
+type ImmutableShardError struct {
+	Shard int
+}
+
+func (e *ImmutableShardError) Error() string {
+	return fmt.Sprintf("cluster: shard %d serves an immutable graph; mutations need every shard live-enabled", e.Shard)
+}
+
+// HTTPStatus implements the server error-mapping probe.
+func (e *ImmutableShardError) HTTPStatus() (int, string) {
+	return http.StatusNotImplemented, api.CodeUnimplemented
+}
+
+// MutationError reports a mutation batch that failed on one or more
+// shards after the coordinator's retry. The cluster's shard generations
+// may now be skewed: queries refuse to merge across generations (see
+// GenerationSkewError), so the cluster stays correct but degraded until
+// the failed shards recover or are re-fed the batch.
+type MutationError struct {
+	// Failed maps shard id to its final error.
+	Failed map[int]error
+}
+
+func (e *MutationError) Error() string {
+	ids := make([]int, 0, len(e.Failed))
+	for i := range e.Failed {
+		ids = append(ids, i)
+	}
+	sort.Ints(ids)
+	var first error
+	if len(ids) > 0 {
+		first = e.Failed[ids[0]]
+	}
+	return fmt.Sprintf("cluster: mutation batch failed on shards %v (first: %v); shard generations may be skewed until they recover", ids, first)
+}
+
+// HTTPStatus implements the server error-mapping probe: like a shard
+// availability failure, the caller should retry against a converged
+// cluster.
+func (e *MutationError) HTTPStatus() (int, string) {
+	return http.StatusServiceUnavailable, "mutation_failed"
+}

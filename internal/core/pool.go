@@ -135,6 +135,29 @@ func (p *Pool) Generation() uint64 {
 	return p.idx.Generation()
 }
 
+// Quiesce takes every engine out of the pool and returns a release func
+// that puts them back: an exclusive epoch barrier for writers that must
+// mutate shared state (the graph's CSR arrays, the index's dictionaries)
+// no query may be reading. It blocks until every in-flight query has
+// returned its engine; queries arriving meanwhile block in their normal
+// engine wait (respecting their contexts) until release. Readers pay
+// nothing for the capability — their hot loops stay lock-free, and the
+// engine channel they already go through is the barrier.
+func (p *Pool) Quiesce() (release func()) {
+	engines := make([]*Engine, cap(p.engines))
+	for i := range engines {
+		engines[i] = <-p.engines
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			for _, e := range engines {
+				p.engines <- e
+			}
+		})
+	}
+}
+
 // Occupancy returns how many engines are currently borrowed.
 func (p *Pool) Occupancy() int { return int(p.occupied.Load()) }
 

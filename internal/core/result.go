@@ -122,6 +122,13 @@ type Result struct {
 	// shard backends were unavailable, so entries owned by those shards
 	// may be missing. Single-node engines never set it.
 	Partial bool
+	// Generation stamps the graph generation the answer was computed on.
+	// Engines and pools leave it 0; a live mutable backend stamps every
+	// result with the generation of the state snapshot it served from, and
+	// a cluster coordinator refuses to merge shard answers whose stamps
+	// differ (a merge across two graph generations would be silently
+	// wrong). It rides the wire as QueryResponse.Generation.
+	Generation uint64
 	// Stats describes the work performed.
 	Stats Stats
 	// Trace holds the per-node decision log when Engine.SetTracing is

@@ -161,7 +161,9 @@ func runBatch(e *core.Engine, algo core.Algorithm, queries []int32, k int) (batc
 // naive gather across shard counts, through internal/cluster), the
 // batch-scatter plus response-cache study (internal/cache over
 // internal/cluster), and the hub-label engine study (precomputed 2-hop
-// label pruning vs Dynamic, through internal/hub).
+// label pruning vs Dynamic, through internal/hub); "mutation" measures
+// the live-mutation pipeline (weight patches vs rebuild swaps, through
+// internal/live).
 var names = []string{
 	"table3", "table4", "figure5",
 	"figure6", "naive",
@@ -175,6 +177,7 @@ var names = []string{
 	"serving_cluster",
 	"serving_batch",
 	"hublabel",
+	"mutation",
 }
 
 // Names lists all experiment identifiers in paper order.
@@ -246,6 +249,9 @@ func (r *Runner) Run(name string) ([]*stats.Table, error) {
 		return wrap(t), err
 	case "hublabel":
 		t, err := r.HubLabelBench()
+		return wrap(t), err
+	case "mutation":
+		t, err := r.Mutation()
 		return wrap(t), err
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, names)

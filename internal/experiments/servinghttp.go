@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"time"
 
+	"rkranks/internal/api"
 	"rkranks/internal/core"
 	"rkranks/internal/server"
 	"rkranks/internal/stats"
@@ -89,7 +90,7 @@ func (r *Runner) ServingHTTP() (*stats.Table, error) {
 // calibrateHTTP estimates end-to-end closed-loop throughput: one batch
 // request per pool worker's worth of queries, timed.
 func calibrateHTTP(url string, queries []int32, k int) (float64, error) {
-	c := server.NewClient(url)
+	c := api.NewClient(url)
 	n := len(queries)
 	if n > 64 {
 		n = 64

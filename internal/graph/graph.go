@@ -115,10 +115,19 @@ func (g *Graph) Edges(fn func(Edge) bool) {
 	n := g.N()
 	for u := 0; u < n; u++ {
 		lo, hi := g.offsets[u], g.offsets[u+1]
+		selfParity := false
 		for i := lo; i < hi; i++ {
 			v, w := g.targets[i], g.weights[i]
 			if !g.directed && v < int32(u) {
 				continue // reported from the smaller endpoint
+			}
+			if !g.directed && v == int32(u) {
+				// An undirected self-loop stores two identical parity arcs
+				// in this span; report the logical edge once.
+				selfParity = !selfParity
+				if !selfParity {
+					continue
+				}
 			}
 			if !fn(Edge{From: int32(u), To: v, Weight: w}) {
 				return

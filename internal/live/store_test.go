@@ -1,0 +1,216 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"rkranks/internal/core"
+	"rkranks/internal/graph"
+	"rkranks/internal/hub"
+	"rkranks/internal/ridx"
+	tg "rkranks/internal/testgraphs"
+)
+
+func mustStore(t *testing.T, g *graph.Graph, cfg Config) *Store {
+	t.Helper()
+	s, err := NewStore(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewStoreValidation(t *testing.T) {
+	g := tg.Path(10)
+	// A serial index is not shareable across the pool.
+	serial, err := ridx.Build(g, ridx.BuildParams{Hubs: []int32{0}, M: 5, K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStore(g, Config{Index: serial}); err == nil {
+		t.Error("serial index accepted")
+	}
+	// Shape mismatches.
+	small := ridx.NewSharded(5, 8)
+	if _, err := NewStore(g, Config{Index: small}); err == nil {
+		t.Error("index with wrong N accepted")
+	}
+	if _, err := NewStore(nil, Config{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+func TestStorePatchVsRebuildCounters(t *testing.T) {
+	ctx := context.Background()
+	s := mustStore(t, tg.Path(12), Config{PoolSize: 1})
+
+	if gen := s.Generation(); gen != 1 {
+		t.Fatalf("boot generation %d, want 1", gen)
+	}
+
+	// Weight-only: patch path.
+	info, err := s.Mutate(ctx, []graph.Mutation{graph.SetWeight(0, 1, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rebuilt || info.Generation != 2 || info.Applied != 1 {
+		t.Fatalf("patch info: %+v", info)
+	}
+
+	// Topology: rebuild path.
+	info, err = s.Mutate(ctx, []graph.Mutation{graph.InsertEdge(0, 5, 1), graph.AddVertices(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Rebuilt || info.Generation != 3 || info.Nodes != 14 {
+		t.Fatalf("rebuild info: %+v", info)
+	}
+
+	snap, ok := s.MutationSnapshot().(*Snapshot)
+	if !ok {
+		t.Fatalf("MutationSnapshot: %T", s.MutationSnapshot())
+	}
+	if snap.Generation != 3 || snap.AppliedBatches != 2 || snap.AppliedOps != 3 ||
+		snap.Patches != 1 || snap.Rebuilds != 1 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+
+	// New vertices are queryable after the rebuild.
+	if _, err := s.QueryContext(ctx, core.Dynamic, 13, 3); err != nil {
+		t.Fatalf("query on added vertex: %v", err)
+	}
+}
+
+func TestStoreLabelLifecycle(t *testing.T) {
+	ctx := context.Background()
+	g := tg.Path(16)
+	roots := hub.Order(g, hub.DegreeFirst, g.N(), hub.Options{})
+	labels, err := hub.BuildLabels(g, roots, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustStore(t, g, Config{PoolSize: 1, Labels: labels})
+
+	if !s.HubLabeled() || s.LabelsStale() {
+		t.Fatal("boot state must be labeled and fresh")
+	}
+	if s.HubLabelBytes() == 0 {
+		t.Fatal("fresh labels report zero bytes")
+	}
+
+	if _, err := s.Mutate(ctx, []graph.Mutation{graph.SetWeight(0, 1, 2.5)}); err != nil {
+		t.Fatal(err)
+	}
+	// HubLabel stays servable throughout (Dynamic fallback while stale).
+	if !s.HubLabeled() {
+		t.Fatal("HubLabeled flipped false under churn")
+	}
+	if _, err := s.QueryContext(ctx, core.HubLabel, 3, 4); err != nil {
+		t.Fatalf("HubLabel query while stale: %v", err)
+	}
+
+	wait, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := s.AwaitLabels(wait); err != nil {
+		t.Fatalf("await: %v", err)
+	}
+	if s.LabelsStale() {
+		t.Fatal("labels still stale after AwaitLabels")
+	}
+	snap := s.MutationSnapshot().(*Snapshot)
+	if snap.Relabels == 0 {
+		t.Fatalf("no relabel recorded: %+v", snap)
+	}
+	// Relabeling must not have moved the generation (labels cannot change
+	// answers).
+	if s.Generation() != 2 {
+		t.Fatalf("relabel moved generation to %d", s.Generation())
+	}
+}
+
+func TestStoreRelabelDisabled(t *testing.T) {
+	ctx := context.Background()
+	g := tg.Path(10)
+	roots := hub.Order(g, hub.DegreeFirst, g.N(), hub.Options{})
+	labels, err := hub.BuildLabels(g, roots, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustStore(t, g, Config{PoolSize: 1, Labels: labels, Relabel: RelabelParams{Disable: true}})
+	if _, err := s.Mutate(ctx, []graph.Mutation{graph.SetWeight(0, 1, 9)}); err != nil {
+		t.Fatal(err)
+	}
+	// Labels stay stale forever, but HubLabel keeps answering via the
+	// fallback.
+	if !s.LabelsStale() {
+		t.Fatal("labels not stale after mutation")
+	}
+	res, err := s.QueryContext(ctx, core.HubLabel, 2, 3)
+	if err != nil {
+		t.Fatalf("HubLabel with relabel disabled: %v", err)
+	}
+	if res.Generation != 2 {
+		t.Fatalf("generation %d, want 2", res.Generation)
+	}
+}
+
+func TestStoreBatchAtomicity(t *testing.T) {
+	ctx := context.Background()
+	s := mustStore(t, tg.Path(8), Config{PoolSize: 1})
+	// Valid op followed by an invalid one: nothing applies.
+	_, err := s.Mutate(ctx, []graph.Mutation{
+		graph.SetWeight(0, 1, 5),
+		graph.InsertEdge(0, 99, 1),
+	})
+	if !errors.Is(err, core.ErrInvalidArgument) {
+		t.Fatalf("want ErrInvalidArgument, got %v", err)
+	}
+	if !errors.Is(err, graph.ErrBadMutation) {
+		t.Fatalf("cause not preserved: %v", err)
+	}
+	if s.Generation() != 1 {
+		t.Fatalf("failed batch advanced generation to %d", s.Generation())
+	}
+	res, err := s.QueryContext(ctx, core.Dynamic, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weight 5 from the rejected batch must not be visible: on the path
+	// graph 0-1-2..., node 1 still ranks 0 first at the original weight.
+	if res.Generation != 1 {
+		t.Fatalf("result stamped %d after rejected batch", res.Generation)
+	}
+}
+
+func TestStoreIndexAcrossRebuild(t *testing.T) {
+	ctx := context.Background()
+	g := tg.Path(20)
+	ix := ridx.NewSharded(g.N(), 10)
+	s := mustStore(t, g, Config{PoolSize: 1, Index: ix})
+	if !s.Indexed() {
+		t.Fatal("store not indexed")
+	}
+	// Topology mutation swaps in a fresh empty index; Indexed queries must
+	// keep working (and re-learn).
+	if _, err := s.Mutate(ctx, []graph.Mutation{graph.InsertEdge(0, 10, 0.5)}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Indexed() {
+		t.Fatal("rebuild dropped the index")
+	}
+	want, err := s.QueryContext(ctx, core.Dynamic, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.QueryContext(ctx, core.Indexed, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Entries {
+		if got.Entries[i] != want.Entries[i] {
+			t.Fatalf("indexed diverged after rebuild: %v vs %v", got.Entries, want.Entries)
+		}
+	}
+}

@@ -98,6 +98,14 @@ type Index interface {
 	Generation() uint64
 	// BumpGeneration advances Generation (see there).
 	BumpGeneration()
+	// Invalidate clears both dictionaries and advances the generation:
+	// the invalidate-on-touch path of the live mutation pipeline. A graph
+	// mutation can lower recorded ranks and certified Check bounds, so
+	// every stored fact becomes untrustworthy at once; after a wholesale
+	// clear the index re-learns from subsequent query refinements exactly
+	// as it did from a cold start. Canonical results are index-state
+	// independent, so answers stay byte-identical throughout.
+	Invalidate()
 }
 
 // SerialIndex is the single-goroutine Index implementation. It is not safe
@@ -236,6 +244,19 @@ func (ix *SerialIndex) Generation() uint64 { return ix.gen }
 
 // BumpGeneration advances the answer-set generation.
 func (ix *SerialIndex) BumpGeneration() { ix.gen++ }
+
+// Invalidate clears both dictionaries and advances the generation (see
+// Index.Invalidate). MaxK and the hub list are preserved: they describe
+// the index's shape, not graph-dependent facts.
+func (ix *SerialIndex) Invalidate() {
+	for i := range ix.check {
+		ix.check[i] = 0
+	}
+	for i := range ix.rrd {
+		ix.rrd[i] = nil
+	}
+	ix.gen++
+}
 
 // Check returns the Check Dictionary bound for u (0 when u was never the
 // source of a recorded search).

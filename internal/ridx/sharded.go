@@ -108,6 +108,26 @@ func (ix *ShardedIndex) Generation() uint64 { return ix.gen.Load() }
 // RaiseCheck refinement never requires one.
 func (ix *ShardedIndex) BumpGeneration() { ix.gen.Add(1) }
 
+// Invalidate clears both dictionaries and advances the generation (see
+// Index.Invalidate). Callers must hold an exclusive barrier over every
+// engine sharing the index (the live store quiesces its pool first): the
+// clear itself takes the stripe locks, but a concurrently running query
+// could otherwise interleave stale pre-mutation facts back in between the
+// clear and the barrier release.
+func (ix *ShardedIndex) Invalidate() {
+	for u := range ix.check {
+		atomic.StoreInt32(&ix.check[u], 0)
+	}
+	for s := 0; s < stripeCount && s < len(ix.rrd); s++ {
+		ix.mu[s].Lock()
+		for v := s; v < len(ix.rrd); v += stripeCount {
+			ix.rrd[v] = nil
+		}
+		ix.mu[s].Unlock()
+	}
+	ix.gen.Add(1)
+}
+
 // Check returns the Check Dictionary bound for u. The bound is certified
 // at the moment of the load; it can only grow afterwards, so acting on a
 // stale value is safe (just less sharp).

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"rkranks/internal/api"
 	"rkranks/internal/cache"
 	"rkranks/internal/core"
 	"rkranks/internal/rank"
@@ -129,7 +130,7 @@ func TestBackendRetryAfterPropagation(t *testing.T) {
 	if got := resp.Header.Get("Retry-After"); got != "42" {
 		t.Errorf("Retry-After = %q, want the shard max \"42\" (not the local queue estimate \"3\")", got)
 	}
-	var e errorResponse
+	var e api.ErrorBody
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestBackendShardUnavailableMapsTo503(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503", resp.StatusCode)
 	}
-	var e errorResponse
+	var e api.ErrorBody
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 		t.Fatal(err)
 	}

@@ -1,164 +1,36 @@
 package server
 
-import (
-	"bytes"
-	"context"
-	"encoding/json"
-	"fmt"
-	"io"
-	"net/http"
-	"strconv"
-	"time"
-)
+import "rkranks/internal/api"
 
-// Client is a typed HTTP client for a Server, shared by the rkbench load
-// generator, the serving_http experiment, and the smoke tests. It speaks
-// exactly the wire protocol this package serves.
-type Client struct {
-	base string
-	hc   *http.Client
-}
-
-// NewClient returns a client for a server at base (e.g.
-// "http://127.0.0.1:8080"). The underlying http.Client reuses
-// connections; one Client is safe for concurrent use.
-func NewClient(base string) *Client {
-	return &Client{
-		base: base,
-		hc: &http.Client{
-			Transport: &http.Transport{
-				MaxIdleConns:        512,
-				MaxIdleConnsPerHost: 512,
-				IdleConnTimeout:     30 * time.Second,
-			},
-		},
-	}
-}
-
-// StatusError reports a non-2xx response, carrying the wire error code so
-// callers can branch (e.g. count 429s separately under load).
-type StatusError struct {
-	Status int
-	Code   string
-	Msg    string
-	// RetryAfter is the parsed Retry-After header of a 429 response
-	// (zero when absent). A cluster coordinator propagates the maximum
-	// across overloaded shards instead of inventing its own estimate.
-	RetryAfter time.Duration
-}
-
-func (e *StatusError) Error() string {
-	return fmt.Sprintf("server: HTTP %d (%s): %s", e.Status, e.Code, e.Msg)
-}
-
-// Health fetches /healthz. It returns the decoded document even for a 503
-// (draining) response, with the StatusError alongside.
-func (c *Client) Health(ctx context.Context) (map[string]any, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer drainClose(resp.Body)
-	var doc map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
-		return nil, fmt.Errorf("server: bad /healthz body: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		status, _ := doc["status"].(string)
-		return doc, &StatusError{Status: resp.StatusCode, Code: status, Msg: "unhealthy"}
-	}
-	return doc, nil
-}
-
-// Stats fetches /statsz.
-func (c *Client) Stats(ctx context.Context) (*Snapshot, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/statsz", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer drainClose(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		return nil, &StatusError{Status: resp.StatusCode, Code: codeInternal, Msg: "statsz failed"}
-	}
-	var snap Snapshot
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("server: bad /statsz body: %w", err)
-	}
-	return &snap, nil
-}
-
-// Query posts one reverse k-ranks query. algorithm may be empty (server
-// default); timeout 0 uses the server default deadline.
-func (c *Client) Query(ctx context.Context, algorithm string, q int32, k int, timeout time.Duration) (*QueryResponse, error) {
-	body := queryRequest{Algorithm: algorithm, Q: q, K: k, TimeoutMS: timeout.Milliseconds()}
-	var resp QueryResponse
-	if err := c.post(ctx, "/v1/query", body, &resp); err != nil {
-		return nil, err
-	}
-	return &resp, nil
-}
-
-// Batch posts a multi-query request backed by Pool.QueryMany.
-func (c *Client) Batch(ctx context.Context, algorithm string, queries []int32, k int, timeout time.Duration) (*BatchResponse, error) {
-	body := batchRequest{Algorithm: algorithm, Queries: queries, K: k, TimeoutMS: timeout.Milliseconds()}
-	var resp BatchResponse
-	if err := c.post(ctx, "/v1/batch", body, &resp); err != nil {
-		return nil, err
-	}
-	return &resp, nil
-}
-
-func (c *Client) post(ctx context.Context, path string, body, dst any) error {
-	buf, err := json.Marshal(body)
-	if err != nil {
-		return err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(buf))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer drainClose(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		var e errorResponse
-		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
-			e = errorResponse{Error: "unreadable error body", Code: codeInternal}
-		}
-		se := &StatusError{Status: resp.StatusCode, Code: e.Code, Msg: e.Error}
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-			se.RetryAfter = time.Duration(secs) * time.Second
-		}
-		return se
-	}
-	return json.NewDecoder(resp.Body).Decode(dst)
-}
-
-// drainClose empties and closes a response body so the transport can
-// reuse the connection.
-func drainClose(body io.ReadCloser) {
-	_, _ = io.Copy(io.Discard, body)
-	_ = body.Close()
-}
-
-// Public aliases of the wire types, so client callers outside this
-// package (rkbench, experiments, smoke tests) can inspect responses.
+// The typed HTTP client and the wire documents moved to internal/api (the
+// one home of the v1 protocol) and are promoted to the public surface as
+// rkranks.Client. These aliases keep existing server.Client callers
+// compiling; new code should import the api package (or use rkranks.Client)
+// directly.
 type (
+	// Client is a typed HTTP client for a Server.
+	//
+	// Deprecated: use api.Client (publicly rkranks.Client).
+	Client = api.Client
+	// StatusError reports a non-2xx response.
+	//
+	// Deprecated: use api.StatusError.
+	StatusError = api.StatusError
 	// QueryResponse is the /v1/query response document.
-	QueryResponse = queryResponse
+	//
+	// Deprecated: use api.QueryResponse.
+	QueryResponse = api.QueryResponse
 	// BatchResponse is the /v1/batch response document.
-	BatchResponse = batchResponse
+	//
+	// Deprecated: use api.BatchResponse.
+	BatchResponse = api.BatchResponse
 	// Entry is one (node, rank) result pair on the wire.
-	Entry = entryJSON
+	//
+	// Deprecated: use api.Entry.
+	Entry = api.Entry
 )
+
+// NewClient returns a client for a server at base.
+//
+// Deprecated: use api.NewClient (publicly rkranks.NewClient).
+func NewClient(base string) *Client { return api.NewClient(base) }

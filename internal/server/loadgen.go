@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"rkranks/internal/api"
 	"rkranks/internal/stats"
 )
 
@@ -119,7 +120,7 @@ arrivals:
 			rctx, cancel := context.WithTimeout(context.Background(), 2*cfg.Timeout)
 			defer cancel()
 			reqStart := time.Now()
-			_, err := client.Query(rctx, cfg.Algorithm, q, cfg.K, cfg.Timeout)
+			_, err := client.Query(rctx, api.Algorithm(cfg.Algorithm), q, cfg.K, cfg.Timeout)
 			lat := time.Since(reqStart).Seconds()
 			mu.Lock()
 			defer mu.Unlock()

@@ -18,10 +18,12 @@
 //     request runs to completion, so a SIGTERM never drops an in-flight
 //     response.
 //
-// Endpoints:
+// Endpoints (documents defined in internal/api, the one home of the wire
+// protocol):
 //
-//	POST /v1/query  {"algorithm":"indexed","q":12,"k":10,"timeout_ms":500}
-//	POST /v1/batch  {"algorithm":"dynamic","queries":[1,2,3],"k":10}
+//	POST /v1/query   {"algorithm":"indexed","q":12,"k":10,"timeout_ms":500}
+//	POST /v1/batch   {"algorithm":"dynamic","queries":[1,2,3],"k":10}
+//	POST /v1/mutate  {"mutations":[{"op":"set_weight","u":3,"v":9,"weight":2}]}
 //	GET  /healthz
 //	GET  /statsz
 package server
@@ -38,8 +40,10 @@ import (
 	"sync"
 	"time"
 
+	"rkranks/internal/api"
 	"rkranks/internal/core"
 	"rkranks/internal/graph"
+	"rkranks/internal/live"
 )
 
 // Backend abstracts the query executor behind the HTTP layer: a local
@@ -55,6 +59,16 @@ type Backend interface {
 	// Indexed reports whether the backend serves Indexed queries; the
 	// default algorithm derives from it.
 	Indexed() bool
+}
+
+// Mutator is the optional Backend capability behind POST /v1/mutate: a
+// live store (internal/live) serving a mutable graph, or a cluster
+// coordinator fanning mutation batches to its shards. Probed through
+// Unwrap chains like every capability, so a cache-wrapped live store
+// still accepts mutations; backends without it answer /v1/mutate with
+// 501 unimplemented.
+type Mutator interface {
+	Mutate(ctx context.Context, ms []graph.Mutation) (live.MutateInfo, error)
 }
 
 // Optional Backend capabilities, probed with type assertions so the
@@ -73,6 +87,12 @@ type Backend interface {
 //     interface{ HubLabelBytes() int64 } extends /statsz with the hub
 //     labeling's memory footprint (core.Pool and cluster coordinators
 //     implement both);
+//   - interface{ Generation() uint64 } extends /statsz with the backend's
+//     graph generation, interface{ MutationSnapshot() any } with the live
+//     mutation counters, and interface{ Graph() *graph.Graph } lets
+//     /healthz report the current (possibly mutated) graph instead of the
+//     boot-time one (live stores and mutation-fanning coordinators
+//     implement all three);
 //   - interface{ Unwrap() any } marks a decorator (the response cache):
 //     probes walk the chain, so a cached cluster still reports its
 //     shards;
@@ -223,6 +243,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/mutate", s.handleMutate)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	if cfg.EnablePprof {
@@ -271,63 +292,27 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // --- wire types ---------------------------------------------------------
+//
+// The request/response documents and the error envelope are defined once
+// in internal/api; handlers use local aliases so the protocol cannot
+// drift from what the typed client and the cluster's remote shards speak.
 
-type queryRequest struct {
-	// Algorithm is naive|static|dynamic|indexed; empty uses the server
-	// default.
-	Algorithm string `json:"algorithm,omitempty"`
-	Q         int32  `json:"q"`
-	K         int    `json:"k"`
-	// TimeoutMS is the per-request deadline in milliseconds; 0 uses the
-	// server default, values above the server cap are clamped.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-}
+type (
+	queryRequest  = api.QueryRequest
+	batchRequest  = api.BatchRequest
+	queryResponse = api.QueryResponse
+	batchResponse = api.BatchResponse
+)
 
-type batchRequest struct {
-	Algorithm string  `json:"algorithm,omitempty"`
-	Queries   []int32 `json:"queries"`
-	K         int     `json:"k"`
-	TimeoutMS int64   `json:"timeout_ms,omitempty"`
-}
-
-type entryJSON struct {
-	Node int32 `json:"node"`
-	Rank int32 `json:"rank"`
-}
-
-type queryResponse struct {
-	Query     int32       `json:"query"`
-	K         int         `json:"k"`
-	Algorithm string      `json:"algorithm"`
-	Entries   []entryJSON `json:"entries"`
-	// Partial marks a degraded cluster answer: one or more shards were
-	// unavailable, so entries owned by them may be missing. Single-node
-	// servers never set it.
-	Partial   bool        `json:"partial,omitempty"`
-	ElapsedMS float64     `json:"elapsed_ms"`
-	Stats     *core.Stats `json:"stats,omitempty"`
-}
-
-type batchResponse struct {
-	Algorithm string          `json:"algorithm"`
-	K         int             `json:"k"`
-	Results   []queryResponse `json:"results"`
-	ElapsedMS float64         `json:"elapsed_ms"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-	Code  string `json:"code"`
-}
-
-// Error codes of the wire protocol, stable for clients to branch on.
+// Error codes of the wire protocol (see api for the full list).
 const (
-	codeInvalidArgument  = "invalid_argument"
-	codeOverloaded       = "overloaded"
-	codeDraining         = "draining"
-	codeDeadlineExceeded = "deadline_exceeded"
-	codeCanceled         = "canceled"
-	codeInternal         = "internal"
+	codeInvalidArgument  = api.CodeInvalidArgument
+	codeOverloaded       = api.CodeOverloaded
+	codeDraining         = api.CodeDraining
+	codeDeadlineExceeded = api.CodeDeadlineExceeded
+	codeCanceled         = api.CodeCanceled
+	codeInternal         = api.CodeInternal
+	codeUnimplemented    = api.CodeUnimplemented
 )
 
 // --- admission ----------------------------------------------------------
@@ -462,7 +447,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	elapsed := time.Since(start)
 	resp := batchResponse{
-		Algorithm: algo.String(),
+		Algorithm: api.AlgorithmOf(algo),
 		K:         req.K,
 		Results:   make([]queryResponse, len(results)),
 		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
@@ -475,6 +460,65 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.respond(w, r, start, http.StatusOK, resp, agg)
 }
 
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req api.MutateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.reject(w, r, start, http.StatusBadRequest, codeInvalidArgument, err.Error())
+		return
+	}
+	mut, ok := probeBackend[Mutator](s.backend)
+	if !ok {
+		s.reject(w, r, start, http.StatusNotImplemented, codeUnimplemented,
+			"backend serves an immutable graph (run with live mutations enabled)")
+		return
+	}
+	ms, err := api.DecodeMutations(req.Mutations)
+	if err != nil {
+		s.reject(w, r, start, http.StatusBadRequest, codeInvalidArgument, err.Error())
+		return
+	}
+	if len(ms) == 0 {
+		s.reject(w, r, start, http.StatusBadRequest, codeInvalidArgument, "mutation batch is empty")
+		return
+	}
+	if len(ms) > s.cfg.MaxBatch {
+		s.reject(w, r, start, http.StatusBadRequest, codeInvalidArgument,
+			fmt.Sprintf("batch of %d mutations exceeds limit %d", len(ms), s.cfg.MaxBatch))
+		return
+	}
+	// Mutations ride the same admission policy as queries: one batch, one
+	// slot. Drain refuses them too, so a terminating server never applies
+	// updates its replacement will not have observed.
+	release, status, code := s.admit(r.Context())
+	if release == nil {
+		s.shed(w, r, start, status, code)
+		return
+	}
+	defer release()
+
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	info, err := mut.Mutate(ctx, ms)
+	if err != nil {
+		s.queryError(w, r, start, err)
+		return
+	}
+	resp := api.MutateResponse{
+		Applied:    info.Applied,
+		Generation: info.Generation,
+		Rebuilt:    info.Rebuilt,
+		Nodes:      info.Nodes,
+		Edges:      info.Edges,
+		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+	}
+	writeJSON(w, http.StatusOK, resp)
+	// Mutations carry no engine stats and stay out of the query-latency
+	// window (a rebuild would read as a latency cliff that never happened
+	// to any query).
+	s.observe(r, start, http.StatusOK, nil)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	state := "ok"
@@ -482,14 +526,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 		state = "draining"
 	}
+	// A live backend's graph evolves past Config.Graph (vertex adds,
+	// topology rebuilds): report the current snapshot when one is exposed.
+	g := s.cfg.Graph
+	if gb, ok := probeBackend[interface{ Graph() *graph.Graph }](s.backend); ok {
+		g = gb.Graph()
+	}
+	_, mutable := probeBackend[Mutator](s.backend)
 	doc := map[string]any{
 		"status":      state,
 		"uptime_sec":  time.Since(s.started).Seconds(),
-		"graph_nodes": s.cfg.Graph.N(),
-		"graph_edges": s.cfg.Graph.M(),
+		"graph_nodes": g.N(),
+		"graph_edges": g.M(),
 		"pool_size":   s.backend.Size(),
 		"indexed":     s.backend.Indexed(),
 		"algorithm":   s.defaultAlgo.String(),
+		"mutable":     mutable,
 	}
 	if sc, ok := probeBackend[interface{ ShardCount() int }](s.backend); ok {
 		doc["shards"] = sc.ShardCount()
@@ -525,6 +577,12 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	if hb, ok := probeBackend[interface{ HubLabelBytes() int64 }](s.backend); ok {
 		snap.HubLabelBytes = hb.HubLabelBytes()
+	}
+	if gn, ok := probeBackend[interface{ Generation() uint64 }](s.backend); ok {
+		snap.Generation = gn.Generation()
+	}
+	if msn, ok := probeBackend[interface{ MutationSnapshot() any }](s.backend); ok {
+		snap.Mutations = msn.MutationSnapshot()
 	}
 	writeJSON(w, http.StatusOK, snap)
 }
@@ -562,11 +620,8 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
 	return nil
 }
 
-func (s *Server) resolveAlgorithm(name string) (core.Algorithm, error) {
-	if name == "" {
-		return s.defaultAlgo, nil
-	}
-	return core.ParseAlgorithm(name)
+func (s *Server) resolveAlgorithm(name api.Algorithm) (core.Algorithm, error) {
+	return name.Core(s.defaultAlgo)
 }
 
 // requestContext derives the engine-layer context: the client deadline
@@ -585,18 +640,19 @@ func (s *Server) requestContext(parent context.Context, timeoutMS int64) (contex
 }
 
 func toQueryResponse(res *core.Result, algo core.Algorithm, elapsed time.Duration) queryResponse {
-	entries := make([]entryJSON, len(res.Entries))
+	entries := make([]api.Entry, len(res.Entries))
 	for i, e := range res.Entries {
-		entries[i] = entryJSON{Node: e.Node, Rank: e.Rank}
+		entries[i] = api.Entry{Node: e.Node, Rank: e.Rank}
 	}
 	stats := res.Stats
 	resp := queryResponse{
-		Query:     res.Query,
-		K:         res.K,
-		Algorithm: algo.String(),
-		Entries:   entries,
-		Partial:   res.Partial,
-		Stats:     &stats,
+		Query:      res.Query,
+		K:          res.K,
+		Algorithm:  api.AlgorithmOf(algo),
+		Entries:    entries,
+		Partial:    res.Partial,
+		Generation: res.Generation,
+		Stats:      &stats,
 	}
 	if elapsed > 0 {
 		resp.ElapsedMS = float64(elapsed.Microseconds()) / 1000
@@ -652,7 +708,13 @@ func (s *Server) shed(w http.ResponseWriter, r *http.Request, start time.Time, s
 }
 
 func (s *Server) reject(w http.ResponseWriter, r *http.Request, start time.Time, status int, code, msg string) {
-	writeJSON(w, status, errorResponse{Error: msg, Code: code})
+	body := api.ErrorBody{Code: code, Message: msg}
+	// Mirror the Retry-After header (set by shed / queryError before this
+	// call) into the envelope, so clients that only read bodies see it.
+	if secs, err := strconv.Atoi(w.Header().Get("Retry-After")); err == nil && secs > 0 {
+		body.RetryAfterSec = secs
+	}
+	writeJSON(w, status, body)
 	s.observe(r, start, status, nil)
 }
 

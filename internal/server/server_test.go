@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"rkranks/internal/api"
 	"rkranks/internal/core"
 	"rkranks/internal/gen"
 	"rkranks/internal/graph"
@@ -107,7 +108,7 @@ func TestQueryValidationMapsTo400(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := c.Query(context.Background(), tc.algo, tc.q, tc.k, 0)
+			_, err := c.Query(context.Background(), api.Algorithm(tc.algo), tc.q, tc.k, 0)
 			if !isStatus(err, 400) {
 				t.Fatalf("got %v, want HTTP 400", err)
 			}

@@ -93,15 +93,18 @@
 package rkranks
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 
+	"rkranks/internal/api"
 	"rkranks/internal/cache"
 	"rkranks/internal/cluster"
 	"rkranks/internal/core"
 	"rkranks/internal/graph"
 	"rkranks/internal/hub"
+	"rkranks/internal/live"
 	"rkranks/internal/ppr"
 	"rkranks/internal/rank"
 	"rkranks/internal/ridx"
@@ -215,6 +218,19 @@ var (
 	ErrLabelsRequired   = core.ErrLabelsRequired
 )
 
+// ErrInvalidOptions is the root of every constructor-options validation
+// error (ClusterOptions, CacheOptions, IndexParams, ...): malformed
+// options fail fast with an error wrapping it, so callers can errors.Is
+// the whole family. Every options struct follows one convention — the
+// zero value of a field means "use the sane default"; only values that
+// are affirmatively out of range are errors.
+var ErrInvalidOptions = errors.New("rkranks: invalid options")
+
+// optErr builds one ErrInvalidOptions-wrapping validation error.
+func optErr(format string, args ...any) error {
+	return fmt.Errorf("rkranks: "+format+": %w", append(args, ErrInvalidOptions)...)
+}
+
 // NewBuilder returns a graph builder; directed selects edge orientation.
 func NewBuilder(directed bool) *Builder { return graph.NewBuilder(directed) }
 
@@ -242,9 +258,11 @@ func NewPoolWithIndex(g *Graph, opts Options, size int, ix Index) (*Pool, error)
 // per-shard detail errors).
 var ErrShardUnavailable = cluster.ErrShardUnavailable
 
-// ClusterOptions configures NewCluster.
+// ClusterOptions configures NewCluster. The zero value is valid: one
+// shard, modulo partitioning, default pool size, degraded (partial)
+// answers on shard failure.
 type ClusterOptions struct {
-	// Shards is the number of vertex shards (>= 1).
+	// Shards is the number of vertex shards (0 defaults to 1).
 	Shards int
 	// Partitioner assigns vertices to shards: "modulo" (the default) or
 	// "degree" (degree-balanced, better on power-law graphs).
@@ -254,14 +272,31 @@ type ClusterOptions struct {
 	// Index, when non-nil, is ONE concurrency-safe index (from
 	// NewConcurrentIndex / LoadConcurrentIndex) shared by every shard,
 	// enabling Indexed queries cluster-wide exactly like NewPoolWithIndex
-	// does for a single pool.
+	// does for a single pool. In Live mode it is used only as a sizing
+	// template: each live shard starts its OWN empty index at the same
+	// MaxK (live shards cannot share one — each store swaps in a fresh
+	// index when a topology mutation forces a rebuild).
 	Index Index
-	// Strict refuses queries whenever a shard is unavailable instead of
-	// answering partially (Result.Partial).
+	// StrictConsistency refuses queries whenever a shard is unavailable
+	// instead of answering partially (Result.Partial).
+	StrictConsistency bool
+	// Strict is the old name of StrictConsistency; either enables it.
+	//
+	// Deprecated: use StrictConsistency.
 	Strict bool
 	// FirstRoundK overrides the reduced first scatter round's per-shard k
 	// (0 = auto ceil(k/Shards)+2; >= k disables rank-floor pruning).
 	FirstRoundK int
+	// Live serves a MUTABLE graph: each shard becomes a live store and
+	// the cluster accepts Cluster.Mutate batches, fanned to every shard
+	// in lockstep. Queries refuse to merge answers from two graph
+	// generations (they retry, then fail with a generation-skew error).
+	Live bool
+	// Labels attaches a hub labeling to every live shard (Live only; see
+	// NewLiveBackend for staleness semantics under mutations).
+	Labels *HubLabels
+	// Relabel tunes the live shards' background relabeling (Live only).
+	Relabel RelabelParams
 }
 
 // NewCluster builds an in-process sharded cluster over g: one masked
@@ -271,26 +306,158 @@ type ClusterOptions struct {
 // candidates. The same coordinator type also fronts remote rkserve shards
 // (see cmd/rkcluster); this constructor covers the in-process topology,
 // the natural first step before splitting shards across machines.
+//
+// With ClusterOptions.Live, shards are live stores instead of static
+// pools and the coordinator accepts mutation batches (Cluster.Mutate).
 func NewCluster(g *Graph, opts Options, co ClusterOptions) (*Cluster, error) {
-	if co.Shards < 1 {
-		return nil, fmt.Errorf("rkranks: ClusterOptions.Shards must be >= 1, got %d", co.Shards)
+	if co.Shards == 0 {
+		co.Shards = 1
+	}
+	if co.Shards < 0 {
+		return nil, optErr("ClusterOptions.Shards must be >= 1, got %d", co.Shards)
 	}
 	part, err := cluster.ParsePartitioner(co.Partitioner)
 	if err != nil {
-		return nil, err
+		return nil, optErr("%s", err)
 	}
-	return cluster.NewLocal(g, opts, part, co.Shards, co.PoolSize, co.Index, cluster.Config{
-		StrictConsistency: co.Strict,
+	cfg := cluster.Config{
+		StrictConsistency: co.StrictConsistency || co.Strict,
 		FirstRoundK:       co.FirstRoundK,
+	}
+	if co.Live {
+		indexMaxK := 0
+		if co.Index != nil {
+			indexMaxK = co.Index.MaxK()
+		}
+		return cluster.NewLocalLive(g, live.Config{
+			Options:  opts,
+			PoolSize: co.PoolSize,
+			Labels:   co.Labels,
+			Relabel:  co.Relabel,
+		}, indexMaxK, part, co.Shards, cfg)
+	}
+	return cluster.NewLocal(g, opts, part, co.Shards, co.PoolSize, co.Index, cfg)
+}
+
+// Live mutation surface. A LiveBackend (or a Live cluster) serves the
+// same query API as a Pool while accepting mutation batches that change
+// the graph between queries — never during one. See the README's "Live
+// mutations" for the update model (in-place weight patches vs background
+// rebuilds) and the staleness semantics of hub labelings under churn.
+type (
+	// Mutation is one graph edit: an edge insert/delete, a weight change,
+	// or a vertex addition. Build them with InsertEdge / DeleteEdge /
+	// SetWeight / AddVertices.
+	Mutation = graph.Mutation
+	// MutateInfo summarizes one applied mutation batch: the generation it
+	// produced and whether it patched in place or rebuilt the graph.
+	MutateInfo = live.MutateInfo
+	// LiveBackend serves queries over a mutable graph: reads are
+	// lock-free in the hot loops, mutation batches apply under a brief
+	// exclusive barrier (or build replacement state in the background and
+	// swap it in atomically), and every applied batch advances
+	// Result.Generation.
+	LiveBackend = live.Store
+	// RelabelParams tunes a live backend's background hub relabeling
+	// (zero value: rebuild a same-sized labeling with default
+	// parallelism).
+	RelabelParams = live.RelabelParams
+)
+
+// InsertEdge mutates: add edge u→v (both directions when the graph is
+// undirected) with weight w. It fails on a duplicate of an existing edge.
+func InsertEdge(u, v int32, w float64) Mutation { return graph.InsertEdge(u, v, w) }
+
+// DeleteEdge mutates: remove the edge u→v. It fails when no such edge
+// exists, or when parallel edges make the pair ambiguous.
+func DeleteEdge(u, v int32) Mutation { return graph.DeleteEdge(u, v) }
+
+// SetWeight mutates: change the weight of the existing edge u→v to w.
+// Batches consisting only of weight changes take the cheap in-place
+// update path.
+func SetWeight(u, v int32, w float64) Mutation { return graph.SetWeight(u, v, w) }
+
+// AddVertices mutates: append count isolated vertices (ids |V|..|V|+count-1),
+// typically followed by InsertEdge mutations wiring them in.
+func AddVertices(count int) Mutation { return graph.AddVertices(count) }
+
+// LiveOptions configures NewLiveBackend. The zero value is valid: no
+// index, no labels, default pool size and relabeling.
+type LiveOptions struct {
+	// Options configures the engines exactly like NewPool; bichromatic
+	// Candidates/Counted masks are carried across rebuilds (new vertices
+	// join both classes).
+	Options Options
+	// PoolSize sizes the engine pool (<= 0 derives a default).
+	PoolSize int
+	// Index, when non-nil, enables Indexed queries; it must be the
+	// concurrency-safe kind (NewConcurrentIndex / LoadConcurrentIndex).
+	// Weight patches invalidate it in place (it re-learns from traffic);
+	// topology rebuilds replace it with an empty index at the same MaxK.
+	Index Index
+	// Labels, when non-nil, enables HubLabel queries. Mutations mark the
+	// labeling stale: HubLabel queries transparently fall back to Dynamic
+	// (identical answers, less pruning) until a background relabel
+	// completes.
+	Labels *HubLabels
+	// Relabel tunes the background relabeling that runs after mutations
+	// when Labels were attached.
+	Relabel RelabelParams
+}
+
+// NewLiveBackend wraps g in a mutable store: LiveBackend.Mutate applies
+// batches of edits, and queries (QueryContext / QueryManyContext) always
+// observe a complete generation — a batch either happened entirely
+// before a query or entirely after it, never midway. Weight-only batches
+// patch the CSR arrays in place under a brief exclusive barrier;
+// topology changes rebuild graph, pool, and index in the background
+// while the old state keeps serving, then swap atomically. Answers after
+// any batch are byte-identical to rebuilding from scratch:
+//
+//	lb, _ := rkranks.NewLiveBackend(g, rkranks.LiveOptions{})
+//	info, _ := lb.Mutate(ctx, []rkranks.Mutation{rkranks.SetWeight(u, v, 2.5)})
+//	res, _ := lb.QueryContext(ctx, rkranks.Dynamic, q, 10) // res.Generation == info.Generation
+func NewLiveBackend(g *Graph, o LiveOptions) (*LiveBackend, error) {
+	return live.NewStore(g, live.Config{
+		Options:  o.Options,
+		PoolSize: o.PoolSize,
+		Index:    o.Index,
+		Labels:   o.Labels,
+		Relabel:  o.Relabel,
 	})
 }
 
-// CacheOptions configures NewCachedBackend.
+// HTTP client for rkserve / rkcluster instances. The same wire types
+// back the servers themselves, so the client is always in sync with the
+// protocol (one error envelope, one request schema, versioned paths).
+type (
+	// Client is a typed HTTP client for the /v1 API: Query, Batch,
+	// Mutate, Stats, Health. Safe for concurrent use.
+	Client = api.Client
+	// StatusError is the typed error a Client returns for non-2xx
+	// responses: HTTP status, machine-readable code, and the server's
+	// Retry-After hint for 429/503 (errors.As-matchable).
+	StatusError = api.StatusError
+	// ClientAlgorithm names an engine on the wire ("dynamic", "indexed",
+	// ...); convert with ClientAlgorithm(Dynamic.String()) or pass the
+	// zero value to use the server's default.
+	ClientAlgorithm = api.Algorithm
+)
+
+// NewClient returns a Client for the rkserve or rkcluster instance at
+// base (e.g. "http://localhost:8080"):
+//
+//	c := rkranks.NewClient("http://localhost:8080")
+//	res, err := c.Query(ctx, "", q, 10, 0) // server-default algorithm, no timeout
+func NewClient(base string) *Client { return api.NewClient(base) }
+
+// CacheOptions configures NewCachedBackend. The zero value is valid
+// (64 MiB budget, default lock-shard count).
 type CacheOptions struct {
-	// MaxMB is the cache-wide budget in MiB (>= 1). The cache stores
-	// canonical results only, so its answers are byte-identical to the
-	// backend recomputing them — even while a shared dynamic index keeps
-	// refining (see the cache package docs).
+	// MaxMB is the cache-wide budget in MiB (0 defaults to 64). The
+	// cache stores canonical results only, so its answers are
+	// byte-identical to the backend recomputing them — even while a
+	// shared dynamic index keeps refining (see the cache package docs).
 	MaxMB int
 	// Shards overrides the cache's lock-shard count (0 picks a default).
 	Shards int
@@ -308,8 +475,11 @@ type CacheOptions struct {
 //	cached, _ := rkranks.NewCachedBackend(pool, rkranks.CacheOptions{MaxMB: 64})
 //	res, _ := cached.QueryContext(ctx, rkranks.Indexed, q, 10)
 func NewCachedBackend(backend QueryBackend, opts CacheOptions) (*CachedBackend, error) {
-	if opts.MaxMB < 1 {
-		return nil, fmt.Errorf("rkranks: CacheOptions.MaxMB must be >= 1, got %d", opts.MaxMB)
+	if opts.MaxMB == 0 {
+		opts.MaxMB = 64
+	}
+	if opts.MaxMB < 0 {
+		return nil, optErr("CacheOptions.MaxMB must be >= 1, got %d", opts.MaxMB)
 	}
 	return cache.NewBackend(backend, cache.Config{
 		MaxBytes: int64(opts.MaxMB) << 20,
@@ -434,13 +604,17 @@ func WriteGraph(path string, g *Graph) error { return graph.WriteFile(path, g) }
 func ReadGraphFrom(r io.Reader) (*Graph, error) { return graph.ReadText(r) }
 
 // IndexParams configures BuildIndex. Fractions follow the paper's h and m
-// parameters (Table 5 defaults: h = m = 0.1, Degree First).
+// parameters (Table 5 defaults: h = m = 0.1, Degree First); the zero
+// value picks exactly those defaults with MaxK = 100.
 type IndexParams struct {
-	// HubFraction is h = H/|V|, the fraction of nodes used as hubs.
+	// HubFraction is h = H/|V|, the fraction of nodes used as hubs
+	// (0 defaults to 0.1).
 	HubFraction float64
-	// RankFraction is m = M/|V|, the fraction of nodes ranked per hub.
+	// RankFraction is m = M/|V|, the fraction of nodes ranked per hub
+	// (0 defaults to 0.1).
 	RankFraction float64
-	// MaxK is the largest query k the index will support (paper's K).
+	// MaxK is the largest query k the index will support (paper's K;
+	// 0 defaults to 100).
 	MaxK int
 	// Strategy picks hubs; the zero value is RandomHubs, and the paper's
 	// best performer is DegreeHubs.
@@ -458,14 +632,23 @@ type IndexParams struct {
 
 // buildParams validates p and resolves it into ridx build parameters.
 func buildParams(g *Graph, p IndexParams) (ridx.BuildParams, error) {
-	if p.HubFraction <= 0 || p.HubFraction > 1 {
-		return ridx.BuildParams{}, fmt.Errorf("rkranks: HubFraction must be in (0,1], got %g", p.HubFraction)
+	if p.HubFraction == 0 {
+		p.HubFraction = 0.1
 	}
-	if p.RankFraction <= 0 || p.RankFraction > 1 {
-		return ridx.BuildParams{}, fmt.Errorf("rkranks: RankFraction must be in (0,1], got %g", p.RankFraction)
+	if p.RankFraction == 0 {
+		p.RankFraction = 0.1
+	}
+	if p.MaxK == 0 {
+		p.MaxK = 100
+	}
+	if p.HubFraction < 0 || p.HubFraction > 1 {
+		return ridx.BuildParams{}, optErr("IndexParams.HubFraction must be in (0,1], got %g", p.HubFraction)
+	}
+	if p.RankFraction < 0 || p.RankFraction > 1 {
+		return ridx.BuildParams{}, optErr("IndexParams.RankFraction must be in (0,1], got %g", p.RankFraction)
 	}
 	if p.MaxK < 1 {
-		return ridx.BuildParams{}, fmt.Errorf("rkranks: MaxK must be >= 1, got %d", p.MaxK)
+		return ridx.BuildParams{}, optErr("IndexParams.MaxK must be >= 1, got %d", p.MaxK)
 	}
 	h := int(float64(g.N()) * p.HubFraction)
 	if h < 1 {

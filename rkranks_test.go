@@ -2,6 +2,7 @@ package rkranks_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -109,15 +110,22 @@ func TestPublicGraphIO(t *testing.T) {
 func TestBuildIndexValidation(t *testing.T) {
 	g, _ := toyGraph()
 	bad := []rkranks.IndexParams{
-		{HubFraction: 0, RankFraction: 0.1, MaxK: 5},
+		{HubFraction: -0.1, RankFraction: 0.1, MaxK: 5},
 		{HubFraction: 1.5, RankFraction: 0.1, MaxK: 5},
-		{HubFraction: 0.1, RankFraction: 0, MaxK: 5},
-		{HubFraction: 0.1, RankFraction: 0.1, MaxK: 0},
+		{HubFraction: 0.1, RankFraction: -0.1, MaxK: 5},
+		{HubFraction: 0.1, RankFraction: 0.1, MaxK: -1},
 	}
 	for i, p := range bad {
-		if _, err := rkranks.BuildIndex(g, p); err == nil {
+		_, err := rkranks.BuildIndex(g, p)
+		if err == nil {
 			t.Errorf("params %d accepted: %+v", i, p)
+		} else if !errors.Is(err, rkranks.ErrInvalidOptions) {
+			t.Errorf("params %d: error does not wrap ErrInvalidOptions: %v", i, err)
 		}
+	}
+	// Zero fields mean "use the paper's defaults", not an error.
+	if _, err := rkranks.BuildIndex(g, rkranks.IndexParams{}); err != nil {
+		t.Errorf("zero IndexParams rejected: %v", err)
 	}
 }
 
@@ -456,12 +464,18 @@ func TestPublicCluster(t *testing.T) {
 		}
 	}
 
-	if _, err := rkranks.NewCluster(g, rkranks.Options{}, rkranks.ClusterOptions{Shards: 0}); err == nil {
-		t.Error("Shards: 0 accepted")
+	if _, err := rkranks.NewCluster(g, rkranks.Options{}, rkranks.ClusterOptions{Shards: -1}); !errors.Is(err, rkranks.ErrInvalidOptions) {
+		t.Errorf("Shards: -1: %v", err)
 	}
-	if _, err := rkranks.NewCluster(g, rkranks.Options{}, rkranks.ClusterOptions{Shards: 2, Partitioner: "nope"}); err == nil {
-		t.Error("unknown partitioner accepted")
+	if _, err := rkranks.NewCluster(g, rkranks.Options{}, rkranks.ClusterOptions{Shards: 2, Partitioner: "nope"}); !errors.Is(err, rkranks.ErrInvalidOptions) {
+		t.Errorf("unknown partitioner: %v", err)
 	}
+	// Shards: 0 defaults to a single shard.
+	single, err := rkranks.NewCluster(g, rkranks.Options{}, rkranks.ClusterOptions{})
+	if err != nil {
+		t.Fatalf("zero ClusterOptions rejected: %v", err)
+	}
+	single.Close()
 }
 
 // TestPublicCachedBackend: the cache decorator wraps both a Pool and a
@@ -512,7 +526,11 @@ func TestPublicCachedBackend(t *testing.T) {
 		}
 	}
 
-	if _, err := rkranks.NewCachedBackend(pool, rkranks.CacheOptions{}); err == nil {
-		t.Error("MaxMB: 0 accepted")
+	if _, err := rkranks.NewCachedBackend(pool, rkranks.CacheOptions{MaxMB: -1}); !errors.Is(err, rkranks.ErrInvalidOptions) {
+		t.Errorf("MaxMB: -1: %v", err)
+	}
+	// MaxMB: 0 means the 64 MiB default.
+	if _, err := rkranks.NewCachedBackend(pool, rkranks.CacheOptions{}); err != nil {
+		t.Errorf("zero CacheOptions rejected: %v", err)
 	}
 }

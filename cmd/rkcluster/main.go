@@ -46,6 +46,7 @@ import (
 	"rkranks/internal/gen"
 	"rkranks/internal/graph"
 	"rkranks/internal/hub"
+	"rkranks/internal/obs"
 	"rkranks/internal/ridx"
 	"rkranks/internal/server"
 )
@@ -97,6 +98,8 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 		drainTO   = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 		accessLog = fs.Bool("access-log", true, "emit structured access logs")
 		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (see CONTRIBUTING.md)")
+		metricsOn = fs.Bool("metrics", true, "mount GET /metrics (Prometheus text exposition)")
+		slowMS    = fs.Int("slow-query-ms", 500, "flight-recorder slow threshold in ms; 0 records EVERY request to /debug/requestz")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,7 +111,12 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 	}
 	logger.Info("graph loaded", slog.Int("nodes", g.N()), slog.Int64("edges", g.M()), slog.Bool("directed", g.Directed()))
 
-	cfg := cluster.Config{StrictConsistency: *strict, FirstRoundK: *firstRoundK}
+	// One registry-backed catalog for the whole process: coordinator,
+	// response cache, and server all record into it, so /metrics carries
+	// the scatter-gather counters next to the HTTP surface.
+	om := obs.NewMetrics(obs.NewRegistry())
+
+	cfg := cluster.Config{StrictConsistency: *strict, FirstRoundK: *firstRoundK, Metrics: om}
 	labels, err := resolveLabels(g, *backendList, *hubLoad, *hubCount, *hubStrategy, *hubWorkers, *genSeed, logger)
 	if err != nil {
 		return err
@@ -128,7 +136,7 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 
 	var backend server.Backend = coord
 	if *cacheMB > 0 {
-		cached, err := cache.NewBackend(coord, cache.Config{MaxBytes: int64(*cacheMB) << 20})
+		cached, err := cache.NewBackend(coord, cache.Config{MaxBytes: int64(*cacheMB) << 20, Metrics: om})
 		if err != nil {
 			return err
 		}
@@ -145,6 +153,13 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 		DefaultTimeout:   *timeout,
 		MaxTimeout:       *maxTO,
 		EnablePprof:      *pprofOn,
+		Metrics:          om,
+		EnableMetrics:    *metricsOn,
+	}
+	if *slowMS == 0 {
+		scfg.SlowQueryThreshold = -1 // record every request
+	} else {
+		scfg.SlowQueryThreshold = time.Duration(*slowMS) * time.Millisecond
 	}
 	if *accessLog {
 		scfg.AccessLog = logger

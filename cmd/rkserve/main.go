@@ -46,6 +46,7 @@ import (
 	"rkranks/internal/graph"
 	"rkranks/internal/hub"
 	"rkranks/internal/live"
+	"rkranks/internal/obs"
 	"rkranks/internal/ridx"
 	"rkranks/internal/server"
 )
@@ -98,6 +99,8 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 		drainTO   = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 		accessLog = fs.Bool("access-log", true, "emit structured access logs")
 		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (see CONTRIBUTING.md)")
+		metricsOn = fs.Bool("metrics", true, "mount GET /metrics (Prometheus text exposition)")
+		slowMS    = fs.Int("slow-query-ms", 500, "flight-recorder slow threshold in ms; 0 records EVERY request to /debug/requestz")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,6 +111,11 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 		return err
 	}
 	logger.Info("graph loaded", slog.Int("nodes", g.N()), slog.Int64("edges", g.M()), slog.Bool("directed", g.Directed()))
+
+	// One registry-backed catalog for the whole process: the live store,
+	// the response cache, and the server all record into it, so /metrics
+	// is the union of their instruments.
+	om := obs.NewMetrics(obs.NewRegistry())
 
 	var healthExtra map[string]any
 	var shardNo, shardCount int
@@ -138,7 +146,7 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 	}
 	var inner cache.Target
 	if *liveMode {
-		lcfg := live.Config{Options: opts, PoolSize: *poolSize, Index: ix, Labels: labels}
+		lcfg := live.Config{Options: opts, PoolSize: *poolSize, Index: ix, Labels: labels, Metrics: om}
 		if *shardSpec != "" {
 			// Rebuilds must recompute the shard mask: the boot-time mask
 			// does not cover vertices added after boot.
@@ -174,7 +182,7 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 
 	var backend server.Backend = inner
 	if *cacheMB > 0 {
-		cached, err := cache.NewBackend(inner, cache.Config{MaxBytes: int64(*cacheMB) << 20})
+		cached, err := cache.NewBackend(inner, cache.Config{MaxBytes: int64(*cacheMB) << 20, Metrics: om})
 		if err != nil {
 			return err
 		}
@@ -192,6 +200,13 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 		MaxTimeout:       *maxTO,
 		HealthExtra:      healthExtra,
 		EnablePprof:      *pprofOn,
+		Metrics:          om,
+		EnableMetrics:    *metricsOn,
+	}
+	if *slowMS == 0 {
+		cfg.SlowQueryThreshold = -1 // record every request
+	} else {
+		cfg.SlowQueryThreshold = time.Duration(*slowMS) * time.Millisecond
 	}
 	if *accessLog {
 		cfg.AccessLog = logger

@@ -79,6 +79,10 @@ type ErrorBody struct {
 	// RetryAfterSec mirrors the Retry-After header on 429/503 responses
 	// (0 when the response carries no hint).
 	RetryAfterSec int `json:"retry_after,omitempty"`
+	// RequestID echoes the request's X-Request-Id (server-generated when
+	// the request carried none), so an error — a 503 generation_skew, a
+	// shed 429 — correlates with its access-log line and trace.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // QueryRequest is the /v1/query request document.
@@ -124,6 +128,10 @@ type QueryResponse struct {
 	Generation uint64      `json:"generation,omitempty"`
 	ElapsedMS  float64     `json:"elapsed_ms"`
 	Stats      *core.Stats `json:"stats,omitempty"`
+	// RequestID echoes the request's X-Request-Id (server-generated when
+	// the request carried none). Empty on batch elements — the enclosing
+	// BatchResponse carries the batch's ID once.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // BatchResponse is the /v1/batch response document.
@@ -132,6 +140,7 @@ type BatchResponse struct {
 	K         int             `json:"k"`
 	Results   []QueryResponse `json:"results"`
 	ElapsedMS float64         `json:"elapsed_ms"`
+	RequestID string          `json:"request_id,omitempty"`
 }
 
 // Mutation op names on the wire, matching graph.MutationOp.String.
@@ -213,4 +222,5 @@ type MutateResponse struct {
 	Nodes     int     `json:"nodes"`
 	Edges     int64   `json:"edges"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	RequestID string  `json:"request_id,omitempty"`
 }

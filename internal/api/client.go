@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rkranks/internal/graph"
+	"rkranks/internal/obs"
 )
 
 // Client is the typed HTTP client for the v1 wire protocol: rkserve and
@@ -145,6 +146,12 @@ func (c *Client) post(ctx context.Context, path string, body, dst any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the caller's request ID so a cluster coordinator's trace
+	// stitches across its shard servers: the shard adopts the inbound ID
+	// instead of generating its own, and both access logs share one key.
+	if rid := obs.RequestIDFromContext(ctx); rid != "" {
+		req.Header.Set("X-Request-Id", rid)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err

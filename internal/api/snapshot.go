@@ -14,7 +14,12 @@ type Snapshot struct {
 	QPS10s float64 `json:"qps_10s"`
 	QPS60s float64 `json:"qps_60s"`
 
-	Latency LatencySnapshot `json:"latency_ms"`
+	// Latency is the query-route window (kept under its historic name so
+	// existing dashboards read the same series); LatencyByRoute splits the
+	// windows per route class ("query", "batch", "mutate", "other") so a
+	// burst of slow mutations can no longer skew the query percentiles.
+	Latency        LatencySnapshot            `json:"latency_ms"`
+	LatencyByRoute map[string]LatencySnapshot `json:"latency_ms_by_route,omitempty"`
 
 	PoolSize int  `json:"pool_size"`
 	InFlight int  `json:"in_flight"`

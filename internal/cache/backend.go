@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"rkranks/internal/core"
+	"rkranks/internal/obs"
 )
 
 // Target is what a Backend decorates: the query surface of the
@@ -79,6 +80,15 @@ func (b *Backend) CacheSnapshot() any {
 // Cache exposes the underlying store (tests, direct invalidation).
 func (b *Backend) Cache() *Cache { return b.cache }
 
+// CacheBytes and CacheEntries are the gauge probes behind the
+// rkranks_cache_bytes / rkranks_cache_entries metrics: the server finds
+// them through the Unwrap chain and registers sampling sources, so the
+// cache itself never touches the registry.
+func (b *Backend) CacheBytes() int64 { return b.cache.Stats().Bytes }
+
+// CacheEntries reports the current entry count (see CacheBytes).
+func (b *Backend) CacheEntries() int64 { return b.cache.Stats().Entries }
+
 // generation reads the target's current answer-set generation.
 func (b *Backend) generation() uint64 {
 	if b.gen == nil {
@@ -119,17 +129,30 @@ func (b *Backend) QueryContext(ctx context.Context, a core.Algorithm, q int32, k
 	kk := key{algo: a, q: q, k: k, gen: b.generation()}
 	s := b.cache.shardFor(kk)
 
+	// The lookup span covers the atomic hit-or-join-or-lead decision; the
+	// flight span is always measured waiter-side (f.wait), never inside
+	// the detached flight goroutine, so a recorder reading the trace after
+	// the request cannot race a still-running abandoned flight.
+	tr := obs.FromContext(ctx)
+	sp := tr.Begin(obs.StageCacheLookup)
+
 	s.mu.Lock()
 	if e := s.lookup(kk); e != nil {
 		s.mu.Unlock()
 		b.cache.hits.Add(1)
+		sp.SetAttr("hit", 1)
+		tr.End(sp)
 		return e.res, nil
 	}
 	if f := s.flights[kk]; f != nil {
 		f.group.join()
 		s.mu.Unlock()
 		b.cache.coalesced.Add(1)
+		sp.SetAttr("coalesced", 1)
+		tr.End(sp)
+		fsp := tr.Begin(obs.StageCacheFlight)
 		res, err := f.wait(ctx)
+		tr.End(fsp)
 		if staleFlight(err, ctx) {
 			// The flight died of abandonment (every earlier waiter left
 			// and the group context was canceled) in the window before
@@ -146,16 +169,24 @@ func (b *Backend) QueryContext(ctx context.Context, a core.Algorithm, q int32, k
 	s.flights[kk] = f
 	s.mu.Unlock()
 	b.cache.misses.Add(1)
+	sp.SetAttr("miss", 1)
+	tr.End(sp)
 
 	// The query itself runs detached from this caller: if the leader
 	// walks away, followers still get the answer, and the engine permit
-	// is released early only when every waiter is gone.
+	// is released early only when every waiter is gone. The flight runs
+	// on the group context (shared by every waiter), so the trace stays
+	// out of it by construction.
 	go func() {
 		res, err := b.inner.QueryContext(grp.ctx, a, q, k)
 		b.finish(s, kk, f, res, err)
 		grp.cancel()
 	}()
-	return f.wait(ctx)
+	fsp := tr.Begin(obs.StageCacheFlight)
+	fsp.SetAttr("leader", 1)
+	res, err := f.wait(ctx)
+	tr.End(fsp)
+	return res, err
 }
 
 // finish publishes one flight's outcome: removes it from the registry
@@ -184,6 +215,12 @@ func (b *Backend) QueryManyContext(ctx context.Context, a core.Algorithm, querie
 	gen := b.generation()
 	results := make([]*core.Result, len(queries))
 
+	// One lookup span covers the whole classification pass; per-query
+	// spans would overflow the trace on large batches.
+	tr := obs.FromContext(ctx)
+	sp := tr.Begin(obs.StageCacheLookup)
+	var nHits, nMisses, nCoalesced int64
+
 	// Classification pass: every index resolves to a hit or a flight.
 	grp := newGroup(ctx)
 	byFlight := make(map[*flight][]int)
@@ -197,6 +234,7 @@ func (b *Backend) QueryManyContext(ctx context.Context, a core.Algorithm, querie
 			// Intra-batch duplicate: ride the flight this batch already
 			// waits on instead of taking another ticket.
 			b.cache.coalesced.Add(1)
+			nCoalesced++
 			byFlight[f] = append(byFlight[f], i)
 			continue
 		}
@@ -205,6 +243,7 @@ func (b *Backend) QueryManyContext(ctx context.Context, a core.Algorithm, querie
 		if e := s.lookup(kk); e != nil {
 			s.mu.Unlock()
 			b.cache.hits.Add(1)
+			nHits++
 			results[i] = e.res
 			continue
 		}
@@ -212,6 +251,7 @@ func (b *Backend) QueryManyContext(ctx context.Context, a core.Algorithm, querie
 			f.group.join()
 			s.mu.Unlock()
 			b.cache.coalesced.Add(1)
+			nCoalesced++
 			local[kk] = f
 			byFlight[f] = append(byFlight[f], i)
 			continue
@@ -221,12 +261,17 @@ func (b *Backend) QueryManyContext(ctx context.Context, a core.Algorithm, querie
 		s.flights[kk] = f
 		s.mu.Unlock()
 		b.cache.misses.Add(1)
+		nMisses++
 		local[kk] = f
 		freshQueries = append(freshQueries, q)
 		freshKeys = append(freshKeys, kk)
 		freshFlights = append(freshFlights, f)
 		byFlight[f] = append(byFlight[f], i)
 	}
+	sp.SetAttr("hits", nHits)
+	sp.SetAttr("misses", nMisses)
+	sp.SetAttr("coalesced", nCoalesced)
+	tr.End(sp)
 
 	if len(freshQueries) > 0 {
 		go func() {
@@ -247,6 +292,8 @@ func (b *Backend) QueryManyContext(ctx context.Context, a core.Algorithm, querie
 
 	var firstErr error
 	var retry []int // indices whose joined flight died of abandonment
+	fsp := tr.Begin(obs.StageCacheFlight)
+	fsp.SetAttr("flights", int64(len(byFlight)))
 	for f, idxs := range byFlight {
 		res, err := f.wait(ctx)
 		if err != nil {
@@ -263,6 +310,7 @@ func (b *Backend) QueryManyContext(ctx context.Context, a core.Algorithm, querie
 			results[i] = res
 		}
 	}
+	tr.End(fsp)
 	if firstErr != nil {
 		// Match Pool/Coordinator batch semantics: the first error fails
 		// the batch.

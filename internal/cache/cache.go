@@ -32,9 +32,9 @@ package cache
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"rkranks/internal/core"
+	"rkranks/internal/obs"
 )
 
 // defaultShards is the lock-shard count of the LRU: enough that
@@ -55,6 +55,10 @@ type Config struct {
 	MaxBytes int64
 	// Shards overrides the lock-shard count (0 = 16).
 	Shards int
+	// Metrics backs the cache counters with the shared instrument
+	// catalog, so /metrics and the /statsz cache section read the same
+	// storage. Nil uses standalone (unregistered) instruments.
+	Metrics *obs.Metrics
 }
 
 // key identifies one cacheable response. Generation is the backend's
@@ -93,11 +97,13 @@ type shard struct {
 type Cache struct {
 	shards []*shard
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	coalesced atomic.Int64
-	inserts   atomic.Int64
-	evictions atomic.Int64
+	// Counters are obs instruments (possibly registered on a /metrics
+	// registry); Stats reads them back, so the two surfaces are one.
+	hits      *obs.Counter
+	misses    *obs.Counter
+	coalesced *obs.Counter
+	inserts   *obs.Counter
+	evictions *obs.Counter
 }
 
 // New returns an empty cache with cfg's byte budget.
@@ -110,7 +116,18 @@ func New(cfg Config) *Cache {
 	if perShard < 1 {
 		perShard = 1
 	}
-	c := &Cache{shards: make([]*shard, n)}
+	m := cfg.Metrics
+	if m == nil {
+		m = obs.NewMetrics(nil)
+	}
+	c := &Cache{
+		shards:    make([]*shard, n),
+		hits:      m.CacheHits,
+		misses:    m.CacheMisses,
+		coalesced: m.CacheCoalesced,
+		inserts:   m.CacheInserts,
+		evictions: m.CacheEvictions,
+	}
 	for i := range c.shards {
 		c.shards[i] = &shard{
 			entries:  make(map[key]*entry),
@@ -225,11 +242,11 @@ type Snapshot struct {
 // Stats returns the cache counters and current occupancy.
 func (c *Cache) Stats() Snapshot {
 	snap := Snapshot{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Coalesced: c.coalesced.Load(),
-		Inserts:   c.inserts.Load(),
-		Evictions: c.evictions.Load(),
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Coalesced: c.coalesced.Value(),
+		Inserts:   c.inserts.Value(),
+		Evictions: c.evictions.Value(),
 	}
 	for _, s := range c.shards {
 		s.mu.Lock()

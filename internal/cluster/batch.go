@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rkranks/internal/core"
+	"rkranks/internal/obs"
 )
 
 // batchState accumulates one batch scatter's rounds.
@@ -80,7 +81,7 @@ func (c *Coordinator) batchScatter(ctx context.Context, a core.Algorithm, querie
 		round1[shard] = all
 	}
 	k0 := c.firstRoundK(k, P)
-	c.batchRound(ctx, a, queries, k0, round1, st)
+	c.batchRound(ctx, a, queries, k0, round1, st, obs.StageScatterRound1)
 	if err := c.roundErrorBatch(st); err != nil {
 		return nil, err
 	}
@@ -104,7 +105,7 @@ func (c *Coordinator) batchScatter(ctx context.Context, a core.Algorithm, querie
 			escalations += len(escalate)
 		}
 		if len(round2) > 0 {
-			c.batchRound(ctx, a, queries, k, round2, st)
+			c.batchRound(ctx, a, queries, k, round2, st, obs.StageScatterRound2)
 			if err := c.roundErrorBatch(st); err != nil {
 				return nil, err
 			}
@@ -160,7 +161,11 @@ func (c *Coordinator) batchScatter(ctx context.Context, a core.Algorithm, querie
 // batchRound issues one RPC per requested shard, carrying that shard's
 // query subset, and folds the outcomes into st. reqs maps shard id to
 // the batch positions it must answer at k.
-func (c *Coordinator) batchRound(ctx context.Context, a core.Algorithm, queries []int32, k int, reqs map[int][]int, st *batchState) {
+func (c *Coordinator) batchRound(ctx context.Context, a core.Algorithm, queries []int32, k int, reqs map[int][]int, st *batchState, stage obs.Stage) {
+	tr := obs.FromContext(ctx)
+	psp := tr.Begin(stage)
+	psp.SetAttr("shards", int64(len(reqs)))
+	psp.SetAttr("k", int64(k))
 	type out struct {
 		shard   int
 		idxs    []int
@@ -177,9 +182,15 @@ func (c *Coordinator) batchRound(ctx context.Context, a core.Algorithm, queries 
 			}
 			sm := c.metrics.shards[shard]
 			sm.inFlight.Add(1)
+			csp := tr.BeginShard(stage, shard)
+			csp.SetAttr("queries", int64(len(qs)))
 			t0 := time.Now()
 			res, err := c.backends[shard].QueryBatch(ctx, a, qs, k)
 			elapsed := time.Since(t0)
+			if err != nil {
+				csp.SetAttr("error", 1)
+			}
+			tr.End(csp)
 			sm.inFlight.Add(-1)
 			c.metrics.observeShard(shard, elapsed, err)
 			failure := err != nil && !fatalQueryError(err)
@@ -232,6 +243,7 @@ func (c *Coordinator) batchRound(ctx context.Context, a core.Algorithm, queries 
 			st.firstFail = &ShardError{Shard: o.shard, Err: o.err}
 		}
 	}
+	tr.End(psp)
 }
 
 // roundErrorBatch is roundError for batch rounds.

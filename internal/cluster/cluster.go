@@ -54,6 +54,7 @@ import (
 	"rkranks/internal/core"
 	"rkranks/internal/graph"
 	"rkranks/internal/live"
+	"rkranks/internal/obs"
 	"rkranks/internal/ridx"
 )
 
@@ -91,6 +92,11 @@ type Config struct {
 	// RetryBackoff is how long a tripped shard is skipped before the
 	// next query probes it again (<= 0 defaults to 5s).
 	RetryBackoff time.Duration
+
+	// Metrics backs the coordinator counters with the shared instrument
+	// catalog, so /metrics and the /statsz cluster section read the same
+	// storage. Nil uses standalone (unregistered) instruments.
+	Metrics *obs.Metrics
 }
 
 func (c *Config) failureThreshold() int {
@@ -193,7 +199,7 @@ func New(backends []ShardBackend, cfg Config) (*Coordinator, error) {
 		backends: backends,
 		cfg:      cfg,
 		health:   make([]shardHealth, len(backends)),
-		metrics:  newMetrics(len(backends)),
+		metrics:  newMetrics(len(backends), cfg.Metrics),
 	}, nil
 }
 
@@ -396,6 +402,7 @@ func (c *Coordinator) QueryContext(ctx context.Context, a core.Algorithm, q int3
 		res, err := c.queryOnce(ctx, a, q, k)
 		var gs *GenerationSkewError
 		if errors.As(err, &gs) && attempt < skewRetries && ctx.Err() == nil {
+			c.metrics.skewRetries.Inc()
 			continue
 		}
 		return res, err
@@ -423,7 +430,9 @@ func (c *Coordinator) queryOnce(ctx context.Context, a core.Algorithm, q int32, 
 
 	st := &gatherState{results: make([]*core.Result, P), partial: len(skipped) > 0}
 	k0 := c.firstRoundK(k, P)
-	c.gatherRound(ctx, a, q, k0, targets, st)
+	// r1 is the round's parent span; summary attributes land on it after
+	// the merge below (the *Span stays valid — it lives in the trace).
+	r1 := c.gatherRound(ctx, a, q, k0, targets, st, obs.StageScatterRound1)
 	if err := c.roundError(st); err != nil {
 		return nil, err
 	}
@@ -434,12 +443,14 @@ func (c *Coordinator) queryOnce(ctx context.Context, a core.Algorithm, q int32, 
 		merged := mergeTopK(st.results, k)
 		escalate, shortCircuited = unsettledShards(st.results, merged, k)
 		if len(escalate) > 0 {
-			c.gatherRound(ctx, a, q, k, escalate, st)
+			c.gatherRound(ctx, a, q, k, escalate, st, obs.StageScatterRound2)
 			if err := c.roundError(st); err != nil {
 				return nil, err
 			}
 		}
 	}
+	r1.SetAttr("short_circuited", int64(shortCircuited))
+	r1.SetAttr("escalations", int64(len(escalate)))
 
 	if st.answered == 0 {
 		if st.firstFail != nil {
@@ -452,6 +463,7 @@ func (c *Coordinator) queryOnce(ctx context.Context, a core.Algorithm, q int32, 
 	if skewed {
 		return nil, &GenerationSkewError{Query: q, Generations: distinctGenerations(st.results)}
 	}
+	r1.SetAttr("generation", int64(gen))
 	res := &core.Result{
 		Query:      q,
 		K:          k,
@@ -537,7 +549,14 @@ func (c *Coordinator) firstRoundK(k, shards int) int {
 // gatherRound scatters one round to the target shards in parallel and
 // folds the outcomes into st. Failed shards keep whatever result an
 // earlier round produced (degraded mode serves it, flagged Partial).
-func (c *Coordinator) gatherRound(ctx context.Context, a core.Algorithm, q int32, k int, targets []int, st *gatherState) {
+// The round is one parent span of the request trace with a per-shard
+// child span each; the returned parent span (nil when untraced) lets
+// the caller attach merge-time attributes after the round closed.
+func (c *Coordinator) gatherRound(ctx context.Context, a core.Algorithm, q int32, k int, targets []int, st *gatherState, stage obs.Stage) *obs.Span {
+	tr := obs.FromContext(ctx)
+	psp := tr.Begin(stage)
+	psp.SetAttr("shards", int64(len(targets)))
+	psp.SetAttr("k", int64(k))
 	outs := make([]shardOut, len(targets))
 	var wg sync.WaitGroup
 	for idx, shard := range targets {
@@ -546,9 +565,16 @@ func (c *Coordinator) gatherRound(ctx context.Context, a core.Algorithm, q int32
 			defer wg.Done()
 			sm := c.metrics.shards[shard]
 			sm.inFlight.Add(1)
+			csp := tr.BeginShard(stage, shard)
 			t0 := time.Now()
 			res, err := c.backends[shard].Query(ctx, a, q, k)
 			elapsed := time.Since(t0)
+			if err == nil {
+				csp.SetAttr("entries", int64(len(res.Entries)))
+			} else {
+				csp.SetAttr("error", 1)
+			}
+			tr.End(csp)
 			sm.inFlight.Add(-1)
 			c.metrics.observeShard(shard, elapsed, err)
 			failure := err != nil && !fatalQueryError(err)
@@ -593,6 +619,8 @@ func (c *Coordinator) gatherRound(ctx context.Context, a core.Algorithm, q int32
 			st.firstFail = &ShardError{Shard: o.shard, Err: o.err}
 		}
 	}
+	tr.End(psp)
+	return psp
 }
 
 // roundError turns a round's fatal outcomes into the query's error:

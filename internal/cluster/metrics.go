@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rkranks/internal/obs"
 	"rkranks/internal/stats"
 )
 
@@ -51,22 +52,27 @@ type LatencySnapshot struct {
 	Window int     `json:"window"`
 }
 
-// metrics aggregates coordinator telemetry. The mutex guards the rings and
-// counters; the per-shard in-flight gauges are atomics so the scatter hot
-// path touches the lock once per query, not once per shard RPC.
+// metrics aggregates coordinator telemetry. The monotone counters are
+// obs instruments — /statsz reads them back with Value(), so the cluster
+// section and /metrics are one storage. The mutex guards the percentile
+// rings (which /metrics does not carry; Prometheus derives distribution
+// from the stage histograms instead); the per-shard in-flight gauges are
+// atomics so the scatter hot path touches the lock once per query, not
+// once per shard RPC.
 type metrics struct {
 	mu sync.Mutex
 
-	queries        int64
-	partials       int64
-	failures       int64 // shard-level failures observed
-	escalations    int64 // round-2 shard fetches
-	shortCircuited int64 // shards settled by their round-1 floor
-	transferred    int64 // result entries moved coordinator-ward
+	queries        *obs.Counter
+	partials       *obs.Counter
+	failures       *obs.Counter // shard-level failures observed
+	escalations    *obs.Counter // round-2 shard fetches
+	shortCircuited *obs.Counter // shards settled by their round-1 floor
+	transferred    *obs.Counter // result entries moved coordinator-ward
+	skewRetries    *obs.Counter // re-scatters forced by generation skew
 
-	batches      int64 // batch scatters served
-	batchRPCs    int64 // shard RPCs spent on batch scatters (all rounds)
-	batchQueries int64 // queries carried by batch scatters
+	batches      *obs.Counter // batch scatters served
+	batchRPCs    *obs.Counter // shard RPCs spent on batch scatters (all rounds)
+	batchQueries *obs.Counter // queries carried by batch scatters
 
 	coord    latRing // whole scatter-gather-merge per query
 	maxShard latRing // slowest shard RPC per query
@@ -84,8 +90,23 @@ type shardMetrics struct {
 	lat     latRing
 }
 
-func newMetrics(shards int) *metrics {
-	m := &metrics{shards: make([]*shardMetrics, shards)}
+func newMetrics(shards int, om *obs.Metrics) *metrics {
+	if om == nil {
+		om = obs.NewMetrics(nil)
+	}
+	m := &metrics{
+		queries:        om.ClusterQueries,
+		partials:       om.ClusterPartials,
+		failures:       om.ClusterShardFailures,
+		escalations:    om.ClusterEscalations,
+		shortCircuited: om.ClusterShortCircuited,
+		transferred:    om.ClusterTransferred,
+		skewRetries:    om.SkewRetries,
+		batches:        om.ClusterBatches,
+		batchRPCs:      om.ClusterBatchRPCs,
+		batchQueries:   om.ClusterBatchQueries,
+		shards:         make([]*shardMetrics, shards),
+	}
 	for i := range m.shards {
 		m.shards[i] = &shardMetrics{}
 	}
@@ -104,23 +125,21 @@ func (m *metrics) observeShard(shard int, elapsed time.Duration, err error) {
 	}
 	s.mu.Unlock()
 	if err != nil {
-		m.mu.Lock()
-		m.failures++
-		m.mu.Unlock()
+		m.failures.Inc()
 	}
 }
 
 // observeQuery records one coordinator query's aggregate outcome.
 func (m *metrics) observeQuery(elapsed, maxShard time.Duration, transferred, escalated, shortCircuited int, partial bool) {
+	m.queries.Inc()
+	if partial {
+		m.partials.Inc()
+	}
+	m.transferred.Add(int64(transferred))
+	m.escalations.Add(int64(escalated))
+	m.shortCircuited.Add(int64(shortCircuited))
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.queries++
-	if partial {
-		m.partials++
-	}
-	m.transferred += int64(transferred)
-	m.escalations += int64(escalated)
-	m.shortCircuited += int64(shortCircuited)
 	m.coord.observe(elapsed)
 	if maxShard > 0 {
 		m.maxShard.observe(maxShard)
@@ -132,14 +151,14 @@ func (m *metrics) observeQuery(elapsed, maxShard time.Duration, transferred, esc
 // the same units the per-query path counts, so the savings columns stay
 // comparable across both scatter modes.
 func (m *metrics) observeBatch(elapsed, maxShard time.Duration, rpcs, queries, transferred, escalated, shortCircuited int) {
+	m.batches.Inc()
+	m.batchRPCs.Add(int64(rpcs))
+	m.batchQueries.Add(int64(queries))
+	m.transferred.Add(int64(transferred))
+	m.escalations.Add(int64(escalated))
+	m.shortCircuited.Add(int64(shortCircuited))
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.batches++
-	m.batchRPCs += int64(rpcs)
-	m.batchQueries += int64(queries)
-	m.transferred += int64(transferred)
-	m.escalations += int64(escalated)
-	m.shortCircuited += int64(shortCircuited)
 	m.batch.observe(elapsed)
 	if maxShard > 0 {
 		m.maxShard.observe(maxShard)
@@ -164,6 +183,9 @@ type Snapshot struct {
 	// the merged cutoff, so their remaining candidates were never
 	// transferred.
 	ShortCircuited int64 `json:"short_circuited"`
+	// SkewRetries counts scatters re-run because shard answers spanned
+	// two graph generations (a mutation landed mid-scatter).
+	SkewRetries int64 `json:"skew_retries"`
 
 	// Batches counts /v1/batch scatters; BatchRPCs the shard round trips
 	// they spent (all rounds — with no escalations, exactly one per shard
@@ -202,15 +224,16 @@ type ShardSnapshot struct {
 func (m *metrics) snapshot() Snapshot {
 	m.mu.Lock()
 	snap := Snapshot{
-		Queries:            m.queries,
-		PartialResults:     m.partials,
-		ShardFailures:      m.failures,
-		EntriesTransferred: m.transferred,
-		Escalations:        m.escalations,
-		ShortCircuited:     m.shortCircuited,
-		Batches:            m.batches,
-		BatchRPCs:          m.batchRPCs,
-		BatchQueries:       m.batchQueries,
+		Queries:            m.queries.Value(),
+		PartialResults:     m.partials.Value(),
+		ShardFailures:      m.failures.Value(),
+		EntriesTransferred: m.transferred.Value(),
+		Escalations:        m.escalations.Value(),
+		ShortCircuited:     m.shortCircuited.Value(),
+		SkewRetries:        m.skewRetries.Value(),
+		Batches:            m.batches.Value(),
+		BatchRPCs:          m.batchRPCs.Value(),
+		BatchQueries:       m.batchQueries.Value(),
 		Coordinator:        m.coord.snapshot(),
 		MaxShard:           m.maxShard.snapshot(),
 		Batch:              m.batch.snapshot(),

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"rkranks/internal/gen"
+	"rkranks/internal/obs"
 )
 
 // TestSteadyStateAllocations: after warm-up, a query's allocations are a
@@ -31,6 +33,33 @@ func TestSteadyStateAllocations(t *testing.T) {
 		if avg > perQueryBudget {
 			t.Errorf("workers=%d: steady-state allocations per query = %.1f, budget %d", workers, avg, perQueryBudget)
 		}
+	}
+}
+
+// TestTracedQueryAllocations: threading a request trace through the
+// engine must not widen the steady-state budget — spans live in the
+// trace's fixed arrays and attributes are typed int64s, so the traced
+// query costs exactly what the untraced one does.
+func TestTracedQueryAllocations(t *testing.T) {
+	g := gen.DBLPLike(gen.DBLPLikeParams{Nodes: 2000, AttachPerNode: 5, Seed: 5})
+	e := NewEngine(g, Options{})
+	tr := obs.NewTrace("alloc-test", "query")
+	defer tr.Release()
+	ctx := obs.ContextWithTrace(context.Background(), tr)
+	for q := int32(0); q < 50; q += 5 {
+		if _, err := e.QueryContext(ctx, Dynamic, q, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const perQueryBudget = 2 // identical to the untraced gate
+	avg := testing.AllocsPerRun(20, func() {
+		tr.Reset("alloc-test", "query")
+		if _, err := e.QueryContext(ctx, Dynamic, 25, 10); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > perQueryBudget {
+		t.Errorf("traced steady-state allocations per query = %.1f, budget %d", avg, perQueryBudget)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"rkranks/internal/graph"
 	"rkranks/internal/hub"
+	"rkranks/internal/obs"
 	"rkranks/internal/rank"
 	"rkranks/internal/ridx"
 	"rkranks/internal/sssp"
@@ -176,7 +177,30 @@ func (e *Engine) QueryContext(ctx context.Context, a Algorithm, q int32, k int) 
 		e.stop = flag
 		defer context.AfterFunc(ctx, func() { flag.Store(true) })()
 	}
+	// Engine time is one span: label.scan for HubLabel (label pruning
+	// interleaved with fallback refinement), engine.refine otherwise. The
+	// span machinery is nil-safe and allocation-free, so an untraced
+	// context costs one Value lookup and the traced path stays inside the
+	// steady-state alloc budget (see TestTracedQueryAllocations).
+	tr := obs.FromContext(ctx)
+	stage := obs.StageEngineRefine
+	if a == HubLabel {
+		stage = obs.StageLabelScan
+	}
+	sp := tr.Begin(stage)
 	res := e.dispatch(a, q, k)
+	if sp != nil {
+		sp.SetAttr("refinements", int64(e.stats.Refinements))
+		sp.SetAttr("pruned_by_bound", int64(e.stats.PrunedByBound))
+		if a == HubLabel {
+			sp.SetAttr("label_pruned", int64(e.stats.LabelPruned))
+			sp.SetAttr("label_fallbacks", int64(e.stats.LabelFallbacks))
+		} else {
+			sp.SetAttr("index_hits", int64(e.stats.IndexHits))
+			sp.SetAttr("tree_settled", int64(e.stats.TreeSettled))
+		}
+		tr.End(sp)
+	}
 	if e.stopped() {
 		return nil, fmt.Errorf("core: query canceled: %w", ctx.Err())
 	}

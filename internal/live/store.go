@@ -45,6 +45,7 @@ import (
 	"rkranks/internal/core"
 	"rkranks/internal/graph"
 	"rkranks/internal/hub"
+	"rkranks/internal/obs"
 	"rkranks/internal/ridx"
 )
 
@@ -90,6 +91,11 @@ type Config struct {
 	// (cluster shard masks must cover vertices added after boot). Nil
 	// uses Options.Candidates, extended with true for added vertices.
 	CandidateFunc func(*graph.Graph) ([]bool, error)
+	// Metrics mirrors the mutation counters into the shared instrument
+	// catalog for /metrics. The store keeps its own atomics as well: in
+	// an in-process live cluster every shard store shares one catalog
+	// (process-wide totals) while MutationSnapshot stays per-shard.
+	Metrics *obs.Metrics
 }
 
 // state is one immutable serving epoch. Everything a query touches hangs
@@ -157,6 +163,10 @@ type Store struct {
 	rebuilds atomic.Uint64
 	relabels atomic.Uint64
 
+	// om mirrors the counters above into the shared catalog (never nil;
+	// standalone instruments when Config.Metrics is unset).
+	om *obs.Metrics
+
 	relabeling atomic.Bool
 }
 
@@ -176,7 +186,10 @@ func NewStore(g *graph.Graph, cfg Config) (*Store, error) {
 	if cfg.Labels != nil && cfg.Labels.N() != g.N() {
 		return nil, fmt.Errorf("live: labels cover %d nodes, graph has %d", cfg.Labels.N(), g.N())
 	}
-	s := &Store{cfg: cfg, hubLabeled: cfg.Labels != nil}
+	s := &Store{cfg: cfg, hubLabeled: cfg.Labels != nil, om: cfg.Metrics}
+	if s.om == nil {
+		s.om = obs.NewMetrics(nil)
+	}
 	if cfg.Index != nil {
 		s.maxK = cfg.Index.MaxK()
 	}
@@ -243,9 +256,18 @@ func (s *Store) buildPool(g *graph.Graph, opts core.Options, idx ridx.Index, lab
 // run through the Dynamic fallback while the labeling is stale
 // (byte-identical results by the HubLabel contract).
 func (s *Store) QueryContext(ctx context.Context, a core.Algorithm, q int32, k int) (*core.Result, error) {
+	// The live.snapshot span measures the wait for the epoch barrier —
+	// the only time a query can be held out by a mutation batch.
+	tr := obs.FromContext(ctx)
+	sp := tr.Begin(obs.StageLiveSnapshot)
 	s.stateMu.RLock()
 	defer s.stateMu.RUnlock()
 	st := s.state.Load()
+	sp.SetAttr("generation", int64(st.gen))
+	if s.hubLabeled && st.labels == nil {
+		sp.SetAttr("labels_stale", 1)
+	}
+	tr.End(sp)
 	res, err := st.pool.QueryContext(ctx, s.mapAlgorithm(st, a), q, k)
 	if err != nil {
 		return nil, err
@@ -257,9 +279,13 @@ func (s *Store) QueryContext(ctx context.Context, a core.Algorithm, q int32, k i
 // QueryManyContext is the batch entry point; one snapshot serves the
 // whole batch, so every result carries the same generation.
 func (s *Store) QueryManyContext(ctx context.Context, a core.Algorithm, queries []int32, k int) ([]*core.Result, error) {
+	tr := obs.FromContext(ctx)
+	sp := tr.Begin(obs.StageLiveSnapshot)
 	s.stateMu.RLock()
 	defer s.stateMu.RUnlock()
 	st := s.state.Load()
+	sp.SetAttr("generation", int64(st.gen))
+	tr.End(sp)
 	results, err := st.pool.QueryManyContext(ctx, s.mapAlgorithm(st, a), queries, k)
 	if err != nil {
 		return nil, err
@@ -342,6 +368,7 @@ func (s *Store) Mutate(ctx context.Context, ms []graph.Mutation) (MutateInfo, er
 	if len(ms) == 0 {
 		return MutateInfo{}, fmt.Errorf("live: empty mutation batch: %w", core.ErrInvalidArgument)
 	}
+	start := time.Now()
 	s.mutateMu.Lock()
 	defer s.mutateMu.Unlock()
 	if err := ctx.Err(); err != nil {
@@ -370,6 +397,14 @@ func (s *Store) Mutate(ctx context.Context, ms []graph.Mutation) (MutateInfo, er
 	}
 	s.batches.Add(1)
 	s.ops.Add(uint64(len(ms)))
+	s.om.MutationBatches.Inc()
+	s.om.MutationOps.Add(int64(len(ms)))
+	if info.Rebuilt {
+		s.om.MutationRebuilds.Inc()
+	} else {
+		s.om.MutationPatches.Inc()
+	}
+	s.om.MutationApplySeconds.Observe(time.Since(start).Seconds())
 	info.Applied = len(ms)
 	if s.hubLabeled && !s.cfg.Relabel.Disable {
 		s.kickRelabel()
@@ -488,6 +523,7 @@ func (s *Store) relabelUntilFresh() {
 		s.state.Store(fresh)
 		s.stateMu.Unlock()
 		s.relabels.Add(1)
+		s.om.MutationRelabels.Inc()
 		s.mutateMu.Unlock()
 		return
 	}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RecorderConfig configures the slow-query flight recorder.
+type RecorderConfig struct {
+	// SlowThreshold marks a request slow when its total latency meets or
+	// exceeds it. Zero or negative means every request is slow (the
+	// debugging posture: -slow-query-ms 0).
+	SlowThreshold time.Duration
+	// RingSize bounds the slow ring (default 64).
+	RingSize int
+	// SampleSize bounds the reservoir of normal requests (default 32).
+	SampleSize int
+	// Logger, when set, receives a structured event per slow request.
+	Logger *slog.Logger
+}
+
+const (
+	defaultRingSize   = 64
+	defaultSampleSize = 32
+)
+
+// Recorder keeps complete traces for slow requests in a bounded ring,
+// plus a reservoir sample of normal ones for baseline comparison. It
+// copies traces into TraceRecords on capture, so callers release their
+// pooled Trace immediately after Observe.
+type Recorder struct {
+	threshold time.Duration
+	logger    *slog.Logger
+
+	mu      sync.Mutex
+	seen    uint64
+	slowN   uint64
+	slow    []TraceRecord // ring, oldest first up to ringIdx wrap
+	ringIdx int
+	sample  []TraceRecord // reservoir (Algorithm R)
+	ringCap int
+	sampCap int
+}
+
+// NewRecorder builds a recorder. A nil *Recorder is valid and inert.
+func NewRecorder(cfg RecorderConfig) *Recorder {
+	r := &Recorder{
+		threshold: cfg.SlowThreshold,
+		logger:    cfg.Logger,
+		ringCap:   cfg.RingSize,
+		sampCap:   cfg.SampleSize,
+	}
+	if r.ringCap <= 0 {
+		r.ringCap = defaultRingSize
+	}
+	if r.sampCap <= 0 {
+		r.sampCap = defaultSampleSize
+	}
+	return r
+}
+
+// Threshold returns the configured slow threshold.
+func (r *Recorder) Threshold() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.threshold
+}
+
+// TraceRecord is a completed trace, flattened for the requestz dump.
+type TraceRecord struct {
+	RequestID    string       `json:"request_id"`
+	Route        string       `json:"route"`
+	Status       int          `json:"status"`
+	Start        time.Time    `json:"start"`
+	TotalMS      float64      `json:"total_ms"`
+	Slow         bool         `json:"slow"`
+	SpansDropped int          `json:"spans_dropped,omitempty"`
+	Spans        []SpanRecord `json:"spans"`
+}
+
+// SpanRecord is one span of a TraceRecord.
+type SpanRecord struct {
+	Stage      string           `json:"stage"`
+	Shard      *int             `json:"shard,omitempty"`
+	StartMS    float64          `json:"start_ms"`
+	DurationMS float64          `json:"duration_ms"`
+	Attrs      map[string]int64 `json:"attrs,omitempty"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func makeRecord(t *Trace, status int, total time.Duration, slow bool) TraceRecord {
+	spans := t.Spans()
+	rec := TraceRecord{
+		RequestID:    t.ID(),
+		Route:        t.Route(),
+		Status:       status,
+		Start:        t.StartTime(),
+		TotalMS:      ms(total),
+		Slow:         slow,
+		SpansDropped: t.Dropped(),
+		Spans:        make([]SpanRecord, 0, len(spans)),
+	}
+	for i := range spans {
+		sp := &spans[i]
+		sr := SpanRecord{
+			Stage:      sp.Stage.String(),
+			StartMS:    ms(sp.Start),
+			DurationMS: ms(sp.Duration()),
+		}
+		if sp.Shard >= 0 {
+			shard := int(sp.Shard)
+			sr.Shard = &shard
+		}
+		if attrs := sp.Attrs(); len(attrs) > 0 {
+			sr.Attrs = make(map[string]int64, len(attrs))
+			for _, a := range attrs {
+				sr.Attrs[a.Key] = a.Value
+			}
+		}
+		rec.Spans = append(rec.Spans, sr)
+	}
+	return rec
+}
+
+// Observe feeds one completed request. It copies what it keeps; the
+// caller still owns (and should Release) the trace. Returns whether the
+// request was classified slow.
+func (r *Recorder) Observe(t *Trace, status int, total time.Duration) bool {
+	if r == nil || t == nil {
+		return false
+	}
+	slow := total >= r.threshold
+	r.mu.Lock()
+	r.seen++
+	if slow {
+		r.slowN++
+		rec := makeRecord(t, status, total, true)
+		if len(r.slow) < r.ringCap {
+			r.slow = append(r.slow, rec)
+		} else {
+			r.slow[r.ringIdx] = rec
+			r.ringIdx = (r.ringIdx + 1) % r.ringCap
+		}
+	} else {
+		// Reservoir-sample normal requests (Algorithm R) so requestz
+		// always shows what "fine" looks like next to what is slow.
+		if len(r.sample) < r.sampCap {
+			r.sample = append(r.sample, makeRecord(t, status, total, false))
+		} else if j := rand.Uint64N(r.seen); j < uint64(r.sampCap) {
+			r.sample[j] = makeRecord(t, status, total, false)
+		}
+	}
+	r.mu.Unlock()
+
+	if slow && r.logger != nil {
+		r.logSlow(t, status, total)
+	}
+	return slow
+}
+
+func (r *Recorder) logSlow(t *Trace, status int, total time.Duration) {
+	spans := t.Spans()
+	var b strings.Builder
+	for i := range spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(spans[i].Stage.String())
+		b.WriteByte('=')
+		b.WriteString(spans[i].Duration().String())
+	}
+	r.logger.Warn("slow query",
+		"request_id", t.ID(),
+		"route", t.Route(),
+		"status", status,
+		"elapsed_ms", ms(total),
+		"threshold_ms", ms(r.threshold),
+		"spans", b.String(),
+	)
+}
+
+// RecorderSnapshot is the GET /debug/requestz document.
+type RecorderSnapshot struct {
+	ThresholdMS float64       `json:"threshold_ms"`
+	Seen        uint64        `json:"seen"`
+	SlowTotal   uint64        `json:"slow_total"`
+	Slow        []TraceRecord `json:"slow"`    // newest first
+	Sampled     []TraceRecord `json:"sampled"` // reservoir of normal requests
+}
+
+// Snapshot returns the retained traces, slow ones newest-first.
+func (r *Recorder) Snapshot() RecorderSnapshot {
+	if r == nil {
+		return RecorderSnapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := RecorderSnapshot{
+		ThresholdMS: ms(r.threshold),
+		Seen:        r.seen,
+		SlowTotal:   r.slowN,
+		Slow:        make([]TraceRecord, 0, len(r.slow)),
+		Sampled:     append([]TraceRecord(nil), r.sample...),
+	}
+	// The ring is oldest-first starting at ringIdx; emit newest-first.
+	for i := len(r.slow) - 1; i >= 0; i-- {
+		snap.Slow = append(snap.Slow, r.slow[(r.ringIdx+i)%len(r.slow)])
+	}
+	return snap
+}
+
+// Handler serves the recorder snapshot as indented JSON.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}

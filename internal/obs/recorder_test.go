@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func observeOne(r *Recorder, id string, total time.Duration, status int) bool {
+	tr := NewTrace(id, "query")
+	sp := tr.Begin(StageEngineRefine)
+	sp.SetAttr("refinements", 7)
+	tr.End(sp)
+	slow := r.Observe(tr, status, total)
+	tr.Release()
+	return slow
+}
+
+func TestRecorderThreshold(t *testing.T) {
+	r := NewRecorder(RecorderConfig{SlowThreshold: 10 * time.Millisecond})
+	if observeOne(r, "fast", 2*time.Millisecond, 200) {
+		t.Error("2ms classified slow at 10ms threshold")
+	}
+	if !observeOne(r, "slow", 50*time.Millisecond, 200) {
+		t.Error("50ms not classified slow at 10ms threshold")
+	}
+	snap := r.Snapshot()
+	if snap.SlowTotal != 1 || snap.Seen != 2 {
+		t.Errorf("snapshot counts = slow %d seen %d", snap.SlowTotal, snap.Seen)
+	}
+	if len(snap.Slow) != 1 || snap.Slow[0].RequestID != "slow" {
+		t.Fatalf("slow ring = %+v", snap.Slow)
+	}
+	if len(snap.Sampled) != 1 || snap.Sampled[0].RequestID != "fast" {
+		t.Fatalf("sample = %+v", snap.Sampled)
+	}
+	rec := snap.Slow[0]
+	if !rec.Slow || rec.Status != 200 || rec.TotalMS != 50 {
+		t.Errorf("record = %+v", rec)
+	}
+	if len(rec.Spans) != 1 || rec.Spans[0].Stage != "engine.refine" || rec.Spans[0].Attrs["refinements"] != 7 {
+		t.Errorf("spans = %+v", rec.Spans)
+	}
+}
+
+// TestRecorderZeroThresholdRecordsEverything is the debugging posture:
+// -slow-query-ms 0 makes every request a captured slow query.
+func TestRecorderZeroThresholdRecordsEverything(t *testing.T) {
+	r := NewRecorder(RecorderConfig{SlowThreshold: 0})
+	for i := 0; i < 3; i++ {
+		if !observeOne(r, fmt.Sprintf("r%d", i), time.Microsecond, 200) {
+			t.Error("request not captured at zero threshold")
+		}
+	}
+	snap := r.Snapshot()
+	if snap.SlowTotal != 3 || len(snap.Slow) != 3 {
+		t.Errorf("slow = %d/%d", snap.SlowTotal, len(snap.Slow))
+	}
+}
+
+// TestRecorderRingEviction fills the ring past capacity and checks the
+// oldest traces fall off while order stays newest-first.
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(RecorderConfig{SlowThreshold: 0, RingSize: 4})
+	for i := 0; i < 10; i++ {
+		observeOne(r, fmt.Sprintf("q%d", i), time.Millisecond, 200)
+	}
+	snap := r.Snapshot()
+	if snap.SlowTotal != 10 {
+		t.Errorf("slow total = %d", snap.SlowTotal)
+	}
+	var ids []string
+	for _, rec := range snap.Slow {
+		ids = append(ids, rec.RequestID)
+	}
+	want := []string{"q9", "q8", "q7", "q6"}
+	if strings.Join(ids, ",") != strings.Join(want, ",") {
+		t.Errorf("ring = %v, want %v", ids, want)
+	}
+}
+
+// TestRecorderReservoirBounded: the sample of normal requests never
+// exceeds its cap no matter how many requests flow through.
+func TestRecorderReservoirBounded(t *testing.T) {
+	r := NewRecorder(RecorderConfig{SlowThreshold: time.Hour, SampleSize: 8})
+	for i := 0; i < 500; i++ {
+		observeOne(r, fmt.Sprintf("n%d", i), time.Millisecond, 200)
+	}
+	snap := r.Snapshot()
+	if len(snap.Sampled) != 8 {
+		t.Errorf("reservoir = %d, want 8", len(snap.Sampled))
+	}
+	if len(snap.Slow) != 0 || snap.SlowTotal != 0 {
+		t.Errorf("slow = %d/%d, want none", snap.SlowTotal, len(snap.Slow))
+	}
+	if snap.Seen != 500 {
+		t.Errorf("seen = %d", snap.Seen)
+	}
+}
+
+func TestRecorderSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	r := NewRecorder(RecorderConfig{SlowThreshold: 0, Logger: logger})
+	observeOne(r, "logged-rid", 3*time.Millisecond, 200)
+	var ev map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &ev); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, buf.String())
+	}
+	if ev["msg"] != "slow query" || ev["request_id"] != "logged-rid" {
+		t.Errorf("event = %v", ev)
+	}
+	if spans, _ := ev["spans"].(string); !strings.Contains(spans, "engine.refine=") {
+		t.Errorf("spans summary = %v", ev["spans"])
+	}
+}
+
+func TestRecorderHandler(t *testing.T) {
+	r := NewRecorder(RecorderConfig{SlowThreshold: 0})
+	observeOne(r, "h1", time.Millisecond, 200)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/requestz", nil))
+	var snap RecorderSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("requestz not JSON: %v", err)
+	}
+	if len(snap.Slow) != 1 || snap.Slow[0].RequestID != "h1" {
+		t.Errorf("requestz = %+v", snap)
+	}
+}
+
+func TestNilRecorderInert(t *testing.T) {
+	var r *Recorder
+	if r.Observe(nil, 200, time.Second) {
+		t.Error("nil recorder classified slow")
+	}
+	if r.Threshold() != 0 {
+		t.Error("nil recorder threshold")
+	}
+	snap := r.Snapshot()
+	if snap.Seen != 0 {
+		t.Error("nil recorder snapshot")
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"rkranks/internal/core"
 	"rkranks/internal/graph"
 	"rkranks/internal/live"
+	"rkranks/internal/obs"
 )
 
 // Backend abstracts the query executor behind the HTTP layer: a local
@@ -168,6 +169,24 @@ type Config struct {
 	// cluster coordinator can verify shard ownership at startup instead
 	// of merging overlapping candidate classes silently wrong.
 	HealthExtra map[string]any
+
+	// Metrics is the observability catalog the server records into. Share
+	// one instance (built with obs.NewMetrics over one registry) across
+	// the cache, cluster, live store, and server of a process so /metrics
+	// aggregates them all. Nil creates a private registry-backed catalog.
+	// At most one Server may record into a registry-backed catalog — the
+	// server registers the admission gauges against it.
+	Metrics *obs.Metrics
+	// EnableMetrics mounts GET /metrics (Prometheus text exposition) on
+	// the serving mux. Off by default, like pprof: the endpoint exposes
+	// operational internals, so production opts in deliberately
+	// (rkserve/rkcluster -metrics).
+	EnableMetrics bool
+	// SlowQueryThreshold marks a request slow for the flight recorder
+	// (GET /debug/requestz) and the slow-query log. 0 defaults to 500ms;
+	// negative records every request — the -slow-query-ms 0 debugging
+	// posture.
+	SlowQueryThreshold time.Duration
 }
 
 // Server is the HTTP serving layer. Create with New, expose via Handler,
@@ -191,7 +210,9 @@ type Server struct {
 	draining bool
 	inflight sync.WaitGroup // every admitted request, for Drain
 
-	metrics *metrics
+	metrics  *metrics
+	om       *obs.Metrics
+	recorder *obs.Recorder
 }
 
 // New validates cfg, applies defaults, and returns a ready Server.
@@ -231,6 +252,14 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 	}
+	om := cfg.Metrics
+	if om == nil {
+		om = obs.NewMetrics(obs.NewRegistry())
+	}
+	slowThreshold := cfg.SlowQueryThreshold
+	if slowThreshold == 0 {
+		slowThreshold = 500 * time.Millisecond
+	}
 	s := &Server{
 		cfg:         cfg,
 		backend:     backend,
@@ -239,13 +268,23 @@ func New(cfg Config) (*Server, error) {
 		started:     time.Now(),
 		inflightSem: make(chan struct{}, cfg.MaxInFlight),
 		queueSem:    make(chan struct{}, cfg.MaxQueue),
-		metrics:     newMetrics(),
+		metrics:     newMetrics(om),
+		om:          om,
+		recorder: obs.NewRecorder(obs.RecorderConfig{
+			SlowThreshold: slowThreshold,
+			Logger:        cfg.AccessLog,
+		}),
 	}
+	s.registerGauges()
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/mutate", s.handleMutate)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.Handle("GET /debug/requestz", s.recorder.Handler())
+	if cfg.EnableMetrics && om.Registry() != nil {
+		s.mux.Handle("GET /metrics", om.Registry().Handler())
+	}
 	if cfg.EnablePprof {
 		// Profiling requests bypass admission control on purpose: a CPU
 		// profile of an overloaded server is exactly the artifact the
@@ -259,8 +298,50 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// registerGauges wires the pull-sampled gauges: admission occupancy from
+// the server's own semaphores, the rest probed through the backend's
+// Unwrap chain (so a cache-wrapped cluster still reports its generation
+// and the cache its occupancy). No-op on a catalog without a registry.
+func (s *Server) registerGauges() {
+	om := s.om
+	om.RegisterGauge("rkranks_in_flight_requests", func() float64 { return float64(len(s.inflightSem)) })
+	om.RegisterGauge("rkranks_queued_requests", func() float64 { return float64(len(s.queueSem)) })
+	om.RegisterGauge("rkranks_draining", func() float64 {
+		if s.Draining() {
+			return 1
+		}
+		return 0
+	})
+	om.RegisterGauge("rkranks_pool_size", func() float64 { return float64(s.backend.Size()) })
+	if gn, ok := probeBackend[interface{ Generation() uint64 }](s.backend); ok {
+		om.RegisterGauge("rkranks_generation", func() float64 { return float64(gn.Generation()) })
+	}
+	if cb, ok := probeBackend[interface{ CSRBytes() int64 }](s.backend); ok {
+		om.RegisterGauge("rkranks_csr_bytes", func() float64 { return float64(cb.CSRBytes()) })
+	} else {
+		g := s.cfg.Graph
+		om.RegisterGauge("rkranks_csr_bytes", func() float64 { return float64(g.CSRBytes()) })
+	}
+	if hb, ok := probeBackend[interface{ HubLabelBytes() int64 }](s.backend); ok {
+		om.RegisterGauge("rkranks_hub_label_bytes", func() float64 { return float64(hb.HubLabelBytes()) })
+	}
+	if cb, ok := probeBackend[interface{ CacheBytes() int64 }](s.backend); ok {
+		om.RegisterGauge("rkranks_cache_bytes", func() float64 { return float64(cb.CacheBytes()) })
+	}
+	if ce, ok := probeBackend[interface{ CacheEntries() int64 }](s.backend); ok {
+		om.RegisterGauge("rkranks_cache_entries", func() float64 { return float64(ce.CacheEntries()) })
+	}
+}
+
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Recorder exposes the slow-query flight recorder (tests and embedding
+// binaries; HTTP consumers use GET /debug/requestz).
+func (s *Server) Recorder() *obs.Recorder { return s.recorder }
+
+// Metrics exposes the observability catalog the server records into.
+func (s *Server) Metrics() *obs.Metrics { return s.om }
 
 // Draining reports whether Drain has been called.
 func (s *Server) Draining() bool {
@@ -378,8 +459,29 @@ func codeForContext(err error) string {
 
 // --- handlers -----------------------------------------------------------
 
+// maxRequestIDLen bounds the inbound X-Request-Id a server adopts; longer
+// values are replaced so a hostile client cannot bloat logs and traces.
+const maxRequestIDLen = 128
+
+// begin stamps a request with its ID and trace. An inbound X-Request-Id
+// is adopted — that is how a cluster coordinator's trace stitches across
+// its shard servers (the api.Client forwards the ID) — otherwise one is
+// generated. The ID goes out on the response header before any body, and
+// the trace rides the request context into the backend.
+func (s *Server) begin(w http.ResponseWriter, r *http.Request, route string) (*http.Request, *obs.Trace) {
+	rid := r.Header.Get("X-Request-Id")
+	if rid == "" || len(rid) > maxRequestIDLen {
+		rid = obs.NewRequestID()
+	}
+	tr := obs.NewTrace(rid, route)
+	w.Header().Set("X-Request-Id", rid)
+	return r.WithContext(obs.ContextWithTrace(r.Context(), tr)), tr
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	r, tr := s.begin(w, r, routeQuery)
+	defer tr.Release()
 	var req queryRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		s.reject(w, r, start, http.StatusBadRequest, codeInvalidArgument, err.Error())
@@ -390,7 +492,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, r, start, http.StatusBadRequest, codeInvalidArgument, err.Error())
 		return
 	}
+	asp := tr.Begin(obs.StageAdmission)
 	release, status, code := s.admit(r.Context())
+	tr.End(asp)
 	if release == nil {
 		s.shed(w, r, start, status, code)
 		return
@@ -401,15 +505,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	res, err := s.backend.QueryContext(ctx, algo, req.Q, req.K)
 	if err != nil {
-		s.queryError(w, r, start, err)
+		s.queryError(w, r, start, err, slog.String("algorithm", algo.String()))
 		return
 	}
 	resp := toQueryResponse(res, algo, time.Since(start))
-	s.respond(w, r, start, http.StatusOK, resp, res.Stats)
+	resp.RequestID = tr.ID()
+	s.respond(w, r, start, http.StatusOK, resp, &res.Stats, 1,
+		slog.String("algorithm", algo.String()), slog.Bool("partial", res.Partial))
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	r, tr := s.begin(w, r, routeBatch)
+	defer tr.Release()
 	var req batchRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		s.reject(w, r, start, http.StatusBadRequest, codeInvalidArgument, err.Error())
@@ -431,7 +539,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	// A batch occupies ONE admission slot; its internal fan-out is bounded
 	// by the pool size (QueryMany workers), not by admission.
+	asp := tr.Begin(obs.StageAdmission)
 	release, status, code := s.admit(r.Context())
+	tr.End(asp)
 	if release == nil {
 		s.shed(w, r, start, status, code)
 		return
@@ -442,7 +552,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	results, err := s.backend.QueryManyContext(ctx, algo, req.Queries, req.K)
 	if err != nil {
-		s.queryError(w, r, start, err)
+		s.queryError(w, r, start, err, slog.String("algorithm", algo.String()))
 		return
 	}
 	elapsed := time.Since(start)
@@ -451,17 +561,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		K:         req.K,
 		Results:   make([]queryResponse, len(results)),
 		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		RequestID: tr.ID(),
 	}
 	var agg core.Stats
+	partial := false
 	for i, res := range results {
 		resp.Results[i] = toQueryResponse(res, algo, 0)
 		agg.Add(res.Stats)
+		partial = partial || res.Partial
 	}
-	s.respond(w, r, start, http.StatusOK, resp, agg)
+	s.respond(w, r, start, http.StatusOK, resp, &agg, len(results),
+		slog.String("algorithm", algo.String()), slog.Bool("partial", partial))
 }
 
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	r, tr := s.begin(w, r, routeMutate)
+	defer tr.Release()
 	var req api.MutateRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		s.reject(w, r, start, http.StatusBadRequest, codeInvalidArgument, err.Error())
@@ -490,7 +606,9 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	// Mutations ride the same admission policy as queries: one batch, one
 	// slot. Drain refuses them too, so a terminating server never applies
 	// updates its replacement will not have observed.
+	asp := tr.Begin(obs.StageAdmission)
 	release, status, code := s.admit(r.Context())
+	tr.End(asp)
 	if release == nil {
 		s.shed(w, r, start, status, code)
 		return
@@ -511,12 +629,13 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		Nodes:      info.Nodes,
 		Edges:      info.Edges,
 		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+		RequestID:  tr.ID(),
 	}
 	writeJSON(w, http.StatusOK, resp)
-	// Mutations carry no engine stats and stay out of the query-latency
-	// window (a rebuild would read as a latency cliff that never happened
-	// to any query).
-	s.observe(r, start, http.StatusOK, nil)
+	// Mutations carry no engine stats; their latency lands in the mutate
+	// route's own window, never the query percentiles (a rebuild would
+	// read as a latency cliff that never happened to any query).
+	s.observe(r, start, http.StatusOK, nil, 0, slog.Bool("rebuilt", info.Rebuilt))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -666,15 +785,15 @@ func toQueryResponse(res *core.Result, algo core.Algorithm, elapsed time.Duratio
 // generic classes; its Retry-After hint, if any, is forwarded so a
 // coordinator's 429 tells clients when the slowest shard will admit
 // again instead of this server's own queue estimate.
-func (s *Server) queryError(w http.ResponseWriter, r *http.Request, start time.Time, err error) {
+func (s *Server) queryError(w http.ResponseWriter, r *http.Request, start time.Time, err error, extra ...slog.Attr) {
 	var hs HTTPStatuser
 	switch {
 	case errors.Is(err, core.ErrInvalidArgument):
-		s.reject(w, r, start, http.StatusBadRequest, codeInvalidArgument, err.Error())
+		s.reject(w, r, start, http.StatusBadRequest, codeInvalidArgument, err.Error(), extra...)
 	case errors.Is(err, context.DeadlineExceeded):
-		s.reject(w, r, start, http.StatusGatewayTimeout, codeDeadlineExceeded, err.Error())
+		s.reject(w, r, start, http.StatusGatewayTimeout, codeDeadlineExceeded, err.Error(), extra...)
 	case errors.Is(err, context.Canceled):
-		s.reject(w, r, start, 499, codeCanceled, err.Error())
+		s.reject(w, r, start, 499, codeCanceled, err.Error(), extra...)
 	case errors.As(err, &hs):
 		status, code := hs.HTTPStatus()
 		var rh RetryAfterHinter
@@ -686,9 +805,9 @@ func (s *Server) queryError(w http.ResponseWriter, r *http.Request, start time.T
 		if status == http.StatusTooManyRequests {
 			s.metrics.shed()
 		}
-		s.reject(w, r, start, status, code, err.Error())
+		s.reject(w, r, start, status, code, err.Error(), extra...)
 	default:
-		s.reject(w, r, start, http.StatusInternalServerError, codeInternal, err.Error())
+		s.reject(w, r, start, http.StatusInternalServerError, codeInternal, err.Error(), extra...)
 	}
 }
 
@@ -707,33 +826,72 @@ func (s *Server) shed(w http.ResponseWriter, r *http.Request, start time.Time, s
 	s.reject(w, r, start, status, code, http.StatusText(status))
 }
 
-func (s *Server) reject(w http.ResponseWriter, r *http.Request, start time.Time, status int, code, msg string) {
-	body := api.ErrorBody{Code: code, Message: msg}
+func (s *Server) reject(w http.ResponseWriter, r *http.Request, start time.Time, status int, code, msg string, extra ...slog.Attr) {
+	tr := obs.FromContext(r.Context())
+	body := api.ErrorBody{Code: code, Message: msg, RequestID: tr.ID()}
 	// Mirror the Retry-After header (set by shed / queryError before this
 	// call) into the envelope, so clients that only read bodies see it.
 	if secs, err := strconv.Atoi(w.Header().Get("Retry-After")); err == nil && secs > 0 {
 		body.RetryAfterSec = secs
 	}
 	writeJSON(w, status, body)
-	s.observe(r, start, status, nil)
+	s.observe(r, start, status, nil, 0, extra...)
 }
 
-func (s *Server) respond(w http.ResponseWriter, r *http.Request, start time.Time, status int, body any, st core.Stats) {
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, start time.Time, status int, body any, st *core.Stats, okQueries int, extra ...slog.Attr) {
 	writeJSON(w, status, body)
-	s.observe(r, start, status, &st)
+	s.observe(r, start, status, st, okQueries, extra...)
 }
 
-func (s *Server) observe(r *http.Request, start time.Time, status int, st *core.Stats) {
+// observe closes out one request: metrics (route counters, latency and
+// stage histograms, engine counter mirror), the flight recorder (which
+// copies the trace, so the handler's deferred Release is safe), and the
+// access log with the trace-derived attrs — request_id always, the cache
+// decision and shard short-circuit counts when those stages ran.
+func (s *Server) observe(r *http.Request, start time.Time, status int, st *core.Stats, okQueries int, extra ...slog.Attr) {
 	elapsed := time.Since(start)
-	s.metrics.observe(status, elapsed, st)
+	tr := obs.FromContext(r.Context())
+	route := routeOther
+	if tr != nil {
+		route = tr.Route()
+	}
+	s.metrics.observe(route, status, elapsed, st, okQueries, tr)
+	if tr != nil && s.recorder.Observe(tr, status, elapsed) {
+		s.om.SlowQueries.Inc()
+	}
 	if s.cfg.AccessLog != nil {
-		s.cfg.AccessLog.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		attrs := make([]slog.Attr, 0, 12+len(extra))
+		attrs = append(attrs,
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.Int("status", status),
 			slog.Float64("elapsed_ms", float64(elapsed.Microseconds())/1000),
 			slog.String("remote", r.RemoteAddr),
 		)
+		if tr != nil {
+			attrs = append(attrs, slog.String("request_id", tr.ID()))
+			// Single-query lookups mark the decision with one flag attr;
+			// batch lookups carry counts.
+			if _, ok := tr.Attr(obs.StageCacheLookup, "hit"); ok {
+				attrs = append(attrs, slog.String("cache", "hit"))
+			} else if _, ok := tr.Attr(obs.StageCacheLookup, "coalesced"); ok {
+				attrs = append(attrs, slog.String("cache", "coalesced"))
+			} else if _, ok := tr.Attr(obs.StageCacheLookup, "miss"); ok {
+				attrs = append(attrs, slog.String("cache", "miss"))
+			} else if hits, ok := tr.Attr(obs.StageCacheLookup, "hits"); ok {
+				misses, _ := tr.Attr(obs.StageCacheLookup, "misses")
+				coalesced, _ := tr.Attr(obs.StageCacheLookup, "coalesced")
+				attrs = append(attrs,
+					slog.Int64("cache_hits", hits),
+					slog.Int64("cache_misses", misses),
+					slog.Int64("cache_coalesced", coalesced))
+			}
+			if v, ok := tr.Attr(obs.StageScatterRound1, "short_circuited"); ok {
+				attrs = append(attrs, slog.Int64("shards_short_circuited", v))
+			}
+		}
+		attrs = append(attrs, extra...)
+		s.cfg.AccessLog.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 	}
 }
 

@@ -4,16 +4,32 @@
 // GET /healthz, GET /statsz — so clients and load balancers cannot tell
 // one node from P.
 //
-// Two topologies:
+// The cluster layout comes from ONE declarative topology file:
 //
-//	rkcluster -graph g.rkg -shards 4                         # in-process: 4 masked engine pools
+//	rkcluster -graph g.rkg -topology topo.json
+//
+// where topo.json names either in-process shards or remote replica sets
+// (see the README's "Replication & failover" for the full format):
+//
+//	{"shards": [
+//	  {"replicas": ["http://s0a:8080", "http://s0b:8080"]},
+//	  {"replicas": ["http://s1a:8080", "http://s1b:8080"]}
+//	]}
+//
+// Every URL in shard i's replica list must serve the SAME graph, booted
+// as `rkserve -shard i/P -shard-partitioner <name>` with P the shard
+// count; rkcluster dials each /healthz at startup and refuses
+// mismatched node counts. Replicas of one shard are interchangeable:
+// queries load-balance across the healthy ones and fail over without
+// changing a byte of any answer; mutations fan to all of them in
+// lockstep.
+//
+// The pre-topology flags still work as a deprecated shim — each maps to
+// one topology field and may not be combined with -topology:
+//
+//	rkcluster -graph g.rkg -shards 4                         # {"local": {"shards": 4}}
 //	rkcluster -graph g.rkg -backends http://s0:8080,http://s1:8080
-//	                                                         # remote: one rkserve -shard i/P per URL
-//
-// In remote mode every backend must serve the SAME graph, booted as
-// `rkserve -shard i/P -shard-partitioner <name>` with i matching its
-// position in -backends and P the backend count; rkcluster dials each
-// /healthz at startup and refuses mismatched node counts.
+//	                                                         # one single-replica shard per URL
 //
 // Queries fan out to all shards at a reduced first-round k; shards whose
 // certified rank floor clears the merged cutoff are short-circuited and
@@ -40,12 +56,14 @@ import (
 	"syscall"
 	"time"
 
+	"rkranks/internal/api"
 	"rkranks/internal/cache"
 	"rkranks/internal/cluster"
 	"rkranks/internal/core"
 	"rkranks/internal/gen"
 	"rkranks/internal/graph"
 	"rkranks/internal/hub"
+	"rkranks/internal/live"
 	"rkranks/internal/obs"
 	"rkranks/internal/ridx"
 	"rkranks/internal/server"
@@ -70,9 +88,11 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 		genNodes  = fs.Int("gen-nodes", 5000, "node count for -gen")
 		genSeed   = fs.Int64("gen-seed", 1, "seed for -gen")
 
-		shards      = fs.Int("shards", 2, "in-process shard count (ignored with -backends)")
+		topoPath    = fs.String("topology", "", "declarative cluster topology file (JSON; shard masks, per-shard replica lists, coordinator options)")
+		shards      = fs.Int("shards", 2, "in-process shard count (deprecated: use -topology with a \"local\" section)")
 		partName    = fs.String("partitioner", "modulo", "vertex partitioner: modulo|degree")
-		backendList = fs.String("backends", "", "comma-separated rkserve shard URLs (remote mode); order must match each backend's -shard index")
+		backendList = fs.String("backends", "", "comma-separated rkserve shard URLs, one single-replica shard each (deprecated: use -topology with a \"shards\" list)")
+		replicas    = fs.Int("replicas", 1, "in-process replicas per shard (deprecated: use -topology)")
 
 		buildIndex = fs.Bool("build-index", false, "build one shared concurrent index for the in-process shards")
 		hubFrac    = fs.Float64("index-h", 0.1, "hub fraction h for -build-index")
@@ -104,6 +124,10 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	topo, err := resolveTopology(fs, *topoPath, *shards, *replicas, *backendList, *partName, *strict, *firstRoundK, *cacheMB, *poolSize)
+	if err != nil {
+		return err
+	}
 
 	g, err := loadGraph(*graphPath, *genType, *genNodes, *genSeed)
 	if err != nil {
@@ -116,12 +140,12 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 	// the scatter-gather counters next to the HTTP surface.
 	om := obs.NewMetrics(obs.NewRegistry())
 
-	cfg := cluster.Config{StrictConsistency: *strict, FirstRoundK: *firstRoundK, Metrics: om}
-	labels, err := resolveLabels(g, *backendList, *hubLoad, *hubCount, *hubStrategy, *hubWorkers, *genSeed, logger)
+	cfg := cluster.Config{StrictConsistency: topo.StrictConsistency, FirstRoundK: topo.FirstRoundK, Metrics: om}
+	labels, err := resolveLabels(g, topo, *hubLoad, *hubCount, *hubStrategy, *hubWorkers, *genSeed, logger)
 	if err != nil {
 		return err
 	}
-	coord, err := buildCoordinator(g, *backendList, *shards, *partName, *poolSize, *refine,
+	coord, err := buildCoordinator(g, topo, *refine,
 		*buildIndex, *hubFrac, *rankFrac, *indexK, *genSeed, labels, cfg, logger)
 	if err != nil {
 		return err
@@ -132,16 +156,16 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 		slog.Int("capacity", coord.Size()),
 		slog.Bool("indexed", coord.Indexed()),
 		slog.Bool("hub_labeled", coord.HubLabeled()),
-		slog.Bool("strict", *strict))
+		slog.Bool("strict", topo.StrictConsistency))
 
 	var backend server.Backend = coord
-	if *cacheMB > 0 {
-		cached, err := cache.NewBackend(coord, cache.Config{MaxBytes: int64(*cacheMB) << 20, Metrics: om})
+	if topo.CacheMB > 0 {
+		cached, err := cache.NewBackend(coord, cache.Config{MaxBytes: int64(topo.CacheMB) << 20, Metrics: om})
 		if err != nil {
 			return err
 		}
 		backend = cached
-		logger.Info("response cache enabled", slog.Int("budget_mb", *cacheMB))
+		logger.Info("response cache enabled", slog.Int("budget_mb", topo.CacheMB))
 	}
 
 	scfg := server.Config{
@@ -204,15 +228,64 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 	return nil
 }
 
+// resolveTopology produces the ONE topology the rest of the boot reads:
+// the -topology file when given, otherwise the deprecated flat flags
+// compiled into an equivalent Topology. Combining -topology with a flag
+// it replaces is refused rather than silently resolved.
+func resolveTopology(fs *flag.FlagSet, path string, shards, replicas int, backendList, partName string, strict bool, firstRoundK, cacheMB, poolSize int) (*api.Topology, error) {
+	if path != "" {
+		shadowed := map[string]bool{
+			"shards": true, "replicas": true, "backends": true, "partitioner": true,
+			"strict": true, "first-round-k": true, "cache-mb": true, "pool": true,
+		}
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			if shadowed[f.Name] {
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return nil, fmt.Errorf("rkcluster: %s conflict with -topology; set the equivalent topology fields instead", strings.Join(conflict, ", "))
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		t, err := api.ReadTopology(f)
+		if err != nil {
+			return nil, fmt.Errorf("rkcluster: topology %s: %w", path, err)
+		}
+		return t, nil
+	}
+	t := &api.Topology{
+		Partitioner:       partName,
+		StrictConsistency: strict,
+		FirstRoundK:       firstRoundK,
+		CacheMB:           cacheMB,
+	}
+	if backendList != "" {
+		for _, url := range strings.Split(backendList, ",") {
+			t.Shards = append(t.Shards, api.TopologyShard{Replicas: []string{strings.TrimSpace(url)}})
+		}
+	} else {
+		t.Local = &api.LocalTopology{Shards: shards, Replicas: replicas, PoolSize: poolSize}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("rkcluster: %w", err)
+	}
+	return t, nil
+}
+
 // resolveLabels resolves the hub-labeling flags to ONE shared read-only
 // labeling for the in-process shards (nil without one). Remote backends
 // own their labelings — they are booted with their own -hub-* flags — so
 // the flags are refused in remote mode rather than silently ignored.
-func resolveLabels(g *graph.Graph, backendList, path string, count int, strategy string, workers int, seed int64, logger *slog.Logger) (*hub.Labels, error) {
+func resolveLabels(g *graph.Graph, topo *api.Topology, path string, count int, strategy string, workers int, seed int64, logger *slog.Logger) (*hub.Labels, error) {
 	if path == "" && count == 0 {
 		return nil, nil
 	}
-	if backendList != "" {
+	if len(topo.Shards) > 0 {
 		return nil, fmt.Errorf("rkcluster: -hub-load/-hub-count apply to in-process shards; boot remote backends with their own rkserve -hub-* flags")
 	}
 	if path != "" && count != 0 {
@@ -256,46 +329,74 @@ func resolveLabels(g *graph.Graph, backendList, path string, count int, strategy
 	return labels, nil
 }
 
-// buildCoordinator assembles the shard backends: remote rkserve clients
-// when -backends is set, masked in-process pools otherwise.
-func buildCoordinator(g *graph.Graph, backendList string, shards int, partName string,
-	poolSize, refine int, buildIndex bool, h, m float64, k int, seed int64,
+// buildCoordinator assembles the shard backends the topology declares:
+// remote rkserve replica sets when it lists shards, masked in-process
+// pools (optionally replicated) otherwise.
+func buildCoordinator(g *graph.Graph, topo *api.Topology,
+	refine int, buildIndex bool, h, m float64, k int, seed int64,
 	labels *hub.Labels, cfg cluster.Config, logger *slog.Logger) (*cluster.Coordinator, error) {
 	opts := core.Options{RefineWorkers: refine, Labels: labels}
-	if backendList != "" {
-		urls := strings.Split(backendList, ",")
-		backends := make([]cluster.ShardBackend, 0, len(urls))
-		for i, url := range urls {
-			url = strings.TrimSpace(url)
+	if P := len(topo.Shards); P > 0 {
+		partName := topo.Partitioner
+		if partName == "" {
+			partName = "modulo"
+		}
+		backends := make([]cluster.ShardBackend, 0, P)
+		for i, ts := range topo.Shards {
 			expect := cluster.RemoteExpect{Nodes: g.N()}
-			if len(urls) > 1 {
-				// Merging assumes disjoint shard ownership: backend i
-				// must have been booted as shard i of len(urls) with the
-				// coordinator's partitioner. A single backend may serve
+			if P > 1 {
+				// Merging assumes disjoint shard ownership: every replica
+				// of entry i must have been booted as shard i of P with
+				// the coordinator's partitioner. A single shard may serve
 				// anything (degenerate one-shard cluster).
-				expect.Shard = fmt.Sprintf("%d/%d", i, len(urls))
+				expect.Shard = fmt.Sprintf("%d/%d", i, P)
 				expect.Partitioner = partName
 			}
-			// Bounded dial: a backend that TCP-accepts but never answers
-			// must fail startup loudly, not hang it forever.
-			dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-			rs, err := cluster.NewRemoteShard(dctx, url, expect)
-			cancel()
+			members := make([]cluster.ShardBackend, 0, len(ts.Replicas))
+			for _, url := range ts.Replicas {
+				// Bounded dial: a backend that TCP-accepts but never
+				// answers must fail startup loudly, not hang it forever.
+				dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				rs, err := cluster.NewRemoteShard(dctx, url, expect)
+				cancel()
+				if err != nil {
+					return nil, err
+				}
+				logger.Info("replica attached", slog.Int("shard", i), slog.String("url", url),
+					slog.Int("capacity", rs.Size()), slog.Bool("indexed", rs.Indexed()))
+				members = append(members, rs)
+			}
+			if len(members) == 1 {
+				backends = append(backends, members[0])
+				continue
+			}
+			rg, err := cluster.NewReplicaGroup(members, cfg)
 			if err != nil {
 				return nil, err
 			}
-			logger.Info("shard attached", slog.String("url", url), slog.Int("capacity", rs.Size()), slog.Bool("indexed", rs.Indexed()))
-			backends = append(backends, rs)
+			logger.Info("replica set ready", slog.Int("shard", i), slog.Int("replicas", len(members)))
+			backends = append(backends, rg)
 		}
 		return cluster.New(backends, cfg)
 	}
 
-	if shards < 1 {
-		return nil, fmt.Errorf("rkcluster: -shards must be >= 1, got %d", shards)
+	l := topo.Local
+	if l == nil {
+		l = &api.LocalTopology{}
 	}
-	part, err := cluster.ParsePartitioner(partName)
+	shards, replicas := l.ShardCount(), l.ReplicaCount()
+	part, err := cluster.ParsePartitioner(topo.Partitioner)
 	if err != nil {
 		return nil, err
+	}
+	if l.Live {
+		indexMaxK := 0
+		if buildIndex {
+			// Live shards each start their OWN empty index at this MaxK
+			// (rebuild swaps preclude sharing one; see ClusterOptions.Index).
+			indexMaxK = k
+		}
+		return cluster.NewLocalLiveReplicated(g, live.Config{Options: opts, PoolSize: l.PoolSize}, indexMaxK, part, shards, replicas, cfg)
 	}
 	var ix ridx.Index
 	if buildIndex {
@@ -311,7 +412,7 @@ func buildCoordinator(g *graph.Graph, backendList string, shards int, partName s
 		logger.Info("shared index built", slog.Int("hubs", hn), slog.Int("m", mn),
 			slog.Int("max_k", k), slog.Duration("elapsed", time.Since(start)))
 	}
-	return cluster.NewLocal(g, opts, part, shards, poolSize, ix, cfg)
+	return cluster.NewLocalReplicated(g, opts, part, shards, replicas, l.PoolSize, ix, cfg)
 }
 
 // loadGraph resolves -graph/-gen. The -gen parameters are shared with

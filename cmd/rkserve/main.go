@@ -14,15 +14,22 @@
 //	rkserve -graph g.rkg -hub-load g.rkhl                   # serve hublabel from a prebuilt labeling
 //	rkserve -graph g.rkg -shard 0/4                         # serve vertex shard 0 of 4 (see cmd/rkcluster)
 //	rkserve -graph g.rkg -live                              # mutable graph: POST /v1/mutate applies live batches
+//	rkserve -graph g.rkg -index-follow http://leader:8080   # replica: inherit the leader's learned index
 //
 // With -shard i/P the instance answers queries for its own vertex shard
 // only (an internal/cluster partitioner mask over the candidate class);
 // a cmd/rkcluster coordinator pointed at all P instances then serves the
 // whole graph. Every shard must load the SAME graph and agree on
-// (-shard-partitioner, P).
+// (-shard-partitioner, P). A shard may be a replica SET: point several
+// identical instances at the same shard spec and list them together in
+// the coordinator's topology file. With -index-follow a replica
+// cold-starts its dynamic index from a leader's snapshot and keeps
+// absorbing the leader's refinement deltas instead of re-deriving the
+// learned state from its own traffic.
 //
 // Endpoints: POST /v1/query, POST /v1/batch, POST /v1/mutate (with
-// -live), GET /healthz, GET /statsz (see internal/server). On SIGTERM/SIGINT the server drains: admission
+// -live), GET /v1/index/snapshot, GET /v1/index/deltas, GET /healthz,
+// GET /statsz (see internal/server). On SIGTERM/SIGINT the server drains: admission
 // stops (503), every in-flight request completes, then the process exits.
 package main
 
@@ -39,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"rkranks/internal/api"
 	"rkranks/internal/cache"
 	"rkranks/internal/cluster"
 	"rkranks/internal/core"
@@ -71,11 +79,13 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 		genNodes  = fs.Int("gen-nodes", 5000, "node count for -gen")
 		genSeed   = fs.Int64("gen-seed", 1, "seed for -gen")
 
-		indexPath  = fs.String("index", "", "prebuilt index file (rkranks.SaveIndex format)")
-		buildIndex = fs.Bool("build-index", false, "build a concurrent index at startup")
-		hubFrac    = fs.Float64("index-h", 0.1, "hub fraction h for -build-index")
-		rankFrac   = fs.Float64("index-m", 0.1, "ranked fraction m for -build-index")
-		indexK     = fs.Int("index-k", 100, "max supported k for -build-index")
+		indexPath   = fs.String("index", "", "prebuilt index file (rkranks.SaveIndex format)")
+		buildIndex  = fs.Bool("build-index", false, "build a concurrent index at startup")
+		hubFrac     = fs.Float64("index-h", 0.1, "hub fraction h for -build-index")
+		rankFrac    = fs.Float64("index-m", 0.1, "ranked fraction m for -build-index")
+		indexK      = fs.Int("index-k", 100, "max supported k for -build-index")
+		indexFollow = fs.String("index-follow", "", "bootstrap the index from this rkserve leader's /v1/index/snapshot and keep absorbing its deltas (replica cold start; excludes -index/-build-index/-live)")
+		indexSync   = fs.Duration("index-sync", 2*time.Second, "delta poll period for -index-follow")
 
 		hubLoad     = fs.String("hub-load", "", "prebuilt hub labeling file (rkranks.SaveHubLabels format); enables the hublabel algorithm")
 		hubSave     = fs.String("hub-save", "", "write the labeling built by -hub-count to this file before serving")
@@ -104,6 +114,14 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *indexFollow != "" {
+		if *liveMode {
+			return fmt.Errorf("rkserve: -index-follow is not supported with -live (a live shard owns a private index that rebuilds swap out)")
+		}
+		if *indexPath != "" || *buildIndex {
+			return fmt.Errorf("rkserve: -index-follow is mutually exclusive with -index/-build-index (the leader's snapshot IS the index)")
+		}
 	}
 
 	g, err := loadGraph(*graphPath, *genType, *genNodes, *genSeed)
@@ -145,8 +163,12 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 		return err
 	}
 	var inner cache.Target
+	var follower *cluster.IndexFollower
 	if *liveMode {
-		lcfg := live.Config{Options: opts, PoolSize: *poolSize, Index: ix, Labels: labels, Metrics: om}
+		lcfg := live.Config{Options: opts, PoolSize: *poolSize, Labels: labels, Metrics: om}
+		if ix != nil {
+			lcfg.Index = ix
+		}
 		if *shardSpec != "" {
 			// Rebuilds must recompute the shard mask: the boot-time mask
 			// does not cover vertices added after boot.
@@ -167,17 +189,41 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 			slog.Bool("indexed", ix != nil), slog.Bool("hub_labeled", labels != nil),
 			slog.Uint64("generation", store.Generation()))
 	} else {
+		// Any index an immutable rkserve serves is wrapped for
+		// replication: refinements it learns from traffic append to a
+		// delta log that GET /v1/index/snapshot + /v1/index/deltas expose
+		// to follower replicas. With -index-follow, this instance IS such
+		// a follower: it cold-starts from the leader's snapshot and a
+		// background loop keeps absorbing the leader's deltas (while its
+		// own traffic keeps teaching the same index, and it can lead
+		// further replicas in turn).
+		var repl *ridx.Replicated
+		if *indexFollow != "" {
+			var seq, gen uint64
+			repl, seq, gen, err = bootstrapFollowerIndex(context.Background(), *indexFollow, logger)
+			if err != nil {
+				return err
+			}
+			om.IndexSnapshotsLoaded.Inc()
+			follower = cluster.NewIndexFollower(repl, api.NewClient(*indexFollow), seq, gen, cluster.IndexFollowerConfig{
+				Interval: *indexSync, Metrics: om, Logger: logger,
+			})
+			logger.Info("index bootstrapped from leader", slog.String("leader", *indexFollow),
+				slog.Uint64("seq", seq), slog.Uint64("index_generation", gen), slog.Int("max_k", repl.MaxK()))
+		} else if ix != nil {
+			repl = ridx.NewReplicated(ix, 0)
+		}
 		var pool *core.Pool
 		opts.Labels = labels
-		if ix != nil {
-			if pool, err = core.NewPoolWithIndex(g, opts, *poolSize, ix); err != nil {
+		if repl != nil {
+			if pool, err = core.NewPoolWithIndex(g, opts, *poolSize, repl); err != nil {
 				return err
 			}
 		} else {
 			pool = core.NewPool(g, opts, *poolSize)
 		}
 		inner = pool
-		logger.Info("pool ready", slog.Int("engines", pool.Size()), slog.Bool("indexed", ix != nil), slog.Bool("hub_labeled", labels != nil))
+		logger.Info("pool ready", slog.Int("engines", pool.Size()), slog.Bool("indexed", repl != nil), slog.Bool("hub_labeled", labels != nil))
 	}
 
 	var backend server.Backend = inner
@@ -228,6 +274,9 @@ func run(args []string, logger *slog.Logger, ready chan<- string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+	if follower != nil {
+		go follower.Run(ctx)
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
@@ -351,9 +400,30 @@ func loadGraph(path, genType string, nodes int, seed int64) (*graph.Graph, error
 	return gen.Named(genType, nodes, seed)
 }
 
+// bootstrapFollowerIndex cold-starts a replica's index from its leader's
+// snapshot endpoint, retrying for up to a minute so a follower may boot
+// concurrently with (slightly before) its leader.
+func bootstrapFollowerIndex(ctx context.Context, base string, logger *slog.Logger) (*ridx.Replicated, uint64, uint64, error) {
+	client := api.NewClient(base)
+	deadline := time.Now().Add(time.Minute)
+	for {
+		bctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+		repl, seq, gen, err := cluster.BootstrapIndex(bctx, client, 0)
+		cancel()
+		if err == nil {
+			return repl, seq, gen, nil
+		}
+		if ctx.Err() != nil || time.Now().After(deadline) {
+			return nil, 0, 0, fmt.Errorf("rkserve: -index-follow bootstrap from %s: %w", base, err)
+		}
+		logger.Warn("index bootstrap failed; retrying", slog.String("leader", base), slog.String("err", err.Error()))
+		time.Sleep(500 * time.Millisecond)
+	}
+}
+
 // loadOrBuildIndex resolves the index flags to a concurrency-safe index
 // (nil when serving index-free).
-func loadOrBuildIndex(g *graph.Graph, path string, build bool, h, m float64, k int, seed int64, logger *slog.Logger) (ridx.Index, error) {
+func loadOrBuildIndex(g *graph.Graph, path string, build bool, h, m float64, k int, seed int64, logger *slog.Logger) (*ridx.ShardedIndex, error) {
 	switch {
 	case path != "" && build:
 		return nil, fmt.Errorf("rkserve: -index and -build-index are mutually exclusive")

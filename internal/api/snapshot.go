@@ -82,6 +82,12 @@ type Snapshot struct {
 	// counters and byte occupancy — present only when the backend is
 	// wrapped in a cache decorator (see cache.Snapshot for the schema).
 	Cache any `json:"cache,omitempty"`
+
+	// Replication is the index-replication section — delta cursor,
+	// index generation, snapshot/delta traffic counters — present only
+	// when the backend serves a replicated index (see
+	// ReplicationSnapshot for the schema).
+	Replication *ReplicationSnapshot `json:"replication,omitempty"`
 }
 
 // LatencySnapshot reports percentiles over the recent-latency window, in

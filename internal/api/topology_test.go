@@ -1,0 +1,79 @@
+package api
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadTopologyRemote(t *testing.T) {
+	doc := `{
+	  "partitioner": "degree",
+	  "strict_consistency": true,
+	  "first_round_k": 12,
+	  "cache_mb": 64,
+	  "shards": [
+	    {"replicas": ["http://a:8081", "http://b:8081"]},
+	    {"replicas": ["https://c:8081"]}
+	  ]
+	}`
+	topo, err := ReadTopology(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Partitioner != "degree" || !topo.StrictConsistency || topo.FirstRoundK != 12 || topo.CacheMB != 64 {
+		t.Errorf("options lost in decode: %+v", topo)
+	}
+	if len(topo.Shards) != 2 || len(topo.Shards[0].Replicas) != 2 {
+		t.Errorf("shard layout lost: %+v", topo.Shards)
+	}
+}
+
+func TestReadTopologyLocalDefaults(t *testing.T) {
+	topo, err := ReadTopology(strings.NewReader(`{"local": {"live": true}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Local.ShardCount() != 1 || topo.Local.ReplicaCount() != 1 {
+		t.Errorf("zero counts must default to 1, got %d/%d", topo.Local.ShardCount(), topo.Local.ReplicaCount())
+	}
+	if !topo.Local.Live {
+		t.Error("live flag lost")
+	}
+	// An absent local section is also nil-safe.
+	var l *LocalTopology
+	if l.ShardCount() != 1 || l.ReplicaCount() != 1 {
+		t.Errorf("nil LocalTopology defaults = %d/%d, want 1/1", l.ShardCount(), l.ReplicaCount())
+	}
+}
+
+func TestReadTopologyRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"unknown field", `{"shard_count": 3}`},
+		{"typoed nested field", `{"local": {"shard": 2}}`},
+		{"bad partitioner", `{"partitioner": "random"}`},
+		{"negative first_round_k", `{"first_round_k": -1}`},
+		{"negative cache_mb", `{"cache_mb": -5}`},
+		{"both local and shards", `{"local": {"shards": 2}, "shards": [{"replicas": ["http://a"]}]}`},
+		{"negative local counts", `{"local": {"replicas": -1}}`},
+		{"shard without replicas", `{"shards": [{"replicas": []}]}`},
+		{"non-http replica", `{"shards": [{"replicas": ["a:8081"]}]}`},
+		{"not json", `shards: [a, b]`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadTopology(strings.NewReader(tc.doc)); err == nil {
+				t.Fatalf("accepted %s", tc.doc)
+			}
+		})
+	}
+}
+
+func TestValidateNilTopology(t *testing.T) {
+	var topo *Topology
+	if err := topo.Validate(); err == nil {
+		t.Fatal("nil topology validated")
+	}
+}

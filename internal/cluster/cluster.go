@@ -312,7 +312,10 @@ func (c *Coordinator) HubLabelBytes() int64 {
 // with. It is also sound as a cache key: a complete (cacheable) merge
 // only exists when every generation-bearing shard agrees on a value G,
 // and the maximum equals exactly that G — skewed states can never
-// produce a complete result under a colliding key.
+// produce a complete result under a colliding key. A ReplicaGroup
+// backend reports its SERVING replica's generation here (never a
+// catching-up replica's), which keeps the same argument sound under
+// replication; see ReplicaGroup.Generation.
 func (c *Coordinator) Generation() uint64 {
 	var gen uint64
 	for _, b := range c.backends {
@@ -702,7 +705,7 @@ func (c *Coordinator) Mutate(ctx context.Context, ms []graph.Mutation) (live.Mut
 		go func(i int, m shardMutator) {
 			defer wg.Done()
 			infos[i], errs[i] = m.Mutate(ctx, ms)
-			if errs[i] != nil && !fatalQueryError(errs[i]) && !immutableRemote(errs[i]) {
+			if errs[i] != nil && !fatalQueryError(errs[i]) && !immutableRemote(errs[i]) && !isImmutableShard(errs[i]) {
 				// One retry absorbs transient shard hiccups; validation
 				// errors and 501s would fail identically again.
 				infos[i], errs[i] = m.Mutate(ctx, ms)
@@ -715,7 +718,9 @@ func (c *Coordinator) Mutate(ctx context.Context, ms []graph.Mutation) (live.Mut
 	for i, err := range errs {
 		switch {
 		case err == nil:
-		case immutableRemote(err):
+		case immutableRemote(err) || isImmutableShard(err):
+			// A remote 501, or a replica group whose members are
+			// immutable: surface the typed error (mapped to HTTP 501).
 			return live.MutateInfo{}, &ImmutableShardError{Shard: i}
 		case errors.Is(err, core.ErrInvalidArgument):
 			// The batch itself is bad; every shard refused it identically

@@ -100,6 +100,13 @@ func (e *ImmutableShardError) HTTPStatus() (int, string) {
 	return http.StatusNotImplemented, api.CodeUnimplemented
 }
 
+// isImmutableShard reports an ImmutableShardError anywhere in err's
+// chain (a replica group surfaces one when its members are immutable).
+func isImmutableShard(err error) bool {
+	var ise *ImmutableShardError
+	return errors.As(err, &ise)
+}
+
 // MutationError reports a mutation batch that failed on one or more
 // shards after the coordinator's retry. The cluster's shard generations
 // may now be skewed: queries refuse to merge across generations (see

@@ -1,0 +1,501 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rkranks/internal/core"
+	"rkranks/internal/graph"
+	"rkranks/internal/live"
+	"rkranks/internal/obs"
+	"rkranks/internal/ridx"
+)
+
+// maxMutationLog bounds the group's replayable mutation-batch log. A
+// replica that missed more batches than the log retains cannot be
+// caught up in process (it stays out of rotation until an operator
+// restarts it against a healthy sibling's snapshot).
+const maxMutationLog = 256
+
+// errReplicaLagging marks a replica skipped by Mutate because its
+// generation is behind the group's serving generation; it will receive
+// the batch via ordered catch-up replay instead.
+var errReplicaLagging = errors.New("cluster: replica lagging serving generation; deferred to catch-up")
+
+// loggedBatch is one successfully applied mutation batch, kept for
+// replaying to replicas that missed it.
+type loggedBatch struct {
+	gen uint64 // generation the batch advanced the group to
+	ms  []graph.Mutation
+}
+
+// ReplicaGroup is N backends serving the SAME shard mask, presented to
+// the coordinator as one ShardBackend. Queries are load-balanced
+// round-robin across the replicas in rotation; a query that fails on
+// one replica retries on a sibling (counted in
+// rkranks_replica_failovers_total) before the group reports failure, so
+// a single replica loss never degrades answers. Each replica has its
+// own half-open health tracking, identical to the coordinator's
+// per-shard tracking.
+//
+// # Rotation and generation
+//
+// A replica is in rotation iff it is healthy AND its graph generation
+// matches the group's serving generation — the maximum generation among
+// healthy replicas. Group Generation() reports exactly that serving
+// generation, so the response cache's key always matches the generation
+// of the replica that actually answers: a stale replica mid-catch-up
+// can never poison the cache with old-generation answers filed under
+// the new generation's key.
+//
+// # Mutations and catch-up
+//
+// Mutate fans each batch to EVERY replica in lockstep and succeeds when
+// at least one replica applied it (the group can then serve at the new
+// generation). Applied batches are logged; a replica that was down
+// while batches landed is caught up by replaying the batches it missed
+// — in order, each advancing its generation by one — before it rejoins
+// rotation (rkranks_replica_catchups_total). Index state transfers
+// separately via snapshot + delta streaming (/v1/index/snapshot, see
+// IndexFollower), which replicas use to inherit learned refinements
+// rather than correctness-critical graph state.
+type ReplicaGroup struct {
+	replicas []ShardBackend
+	cfg      Config
+	health   []shardHealth
+	om       *obs.Metrics
+	desc     string
+	cursor   atomic.Uint64
+
+	// catchMu admits one catch-up at a time; queries that cannot claim
+	// it just skip the lagging replica.
+	catchMu sync.Mutex
+
+	// muMu serializes group mutations and guards mulog.
+	muMu  sync.Mutex
+	mulog []loggedBatch
+}
+
+// NewReplicaGroup builds a group over replicas of one shard mask. The
+// replicas must be interchangeable: same graph, same candidate class
+// (the coordinator's RemoteExpect checks enforce this for remote
+// replicas; the local constructors build them from one partitioner).
+func NewReplicaGroup(replicas []ShardBackend, cfg Config) (*ReplicaGroup, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("cluster: a replica group needs at least one backend")
+	}
+	om := cfg.Metrics
+	if om == nil {
+		om = obs.NewMetrics(nil)
+	}
+	desc := "group["
+	for i, b := range replicas {
+		if i > 0 {
+			desc += " "
+		}
+		desc += b.Describe()
+	}
+	desc += "]"
+	return &ReplicaGroup{
+		replicas: replicas,
+		cfg:      cfg,
+		health:   make([]shardHealth, len(replicas)),
+		om:       om,
+		desc:     desc,
+	}, nil
+}
+
+// Replicas returns the group's backends (tests and introspection).
+func (g *ReplicaGroup) Replicas() []ShardBackend { return g.replicas }
+
+// backendGeneration probes a backend's graph generation (0 when the
+// backend has none — immutable groups never leave generation 0).
+func backendGeneration(b ShardBackend) uint64 {
+	if gp, ok := b.(interface{ Generation() uint64 }); ok {
+		return gp.Generation()
+	}
+	return 0
+}
+
+// servingGeneration is the group's target: the maximum generation among
+// healthy replicas. Only replicas AT this generation serve queries. If
+// every up-to-date replica is unhealthy, the target regresses to the
+// best healthy replica — it then serves its (older) answers stamped
+// with its own generation, which stays self-consistent: Generation()
+// reports the same regressed value, and cross-shard merges against
+// newer groups are refused by the generation-skew check.
+func (g *ReplicaGroup) servingGeneration() uint64 {
+	threshold := g.cfg.failureThreshold()
+	var target uint64
+	for i, b := range g.replicas {
+		if !g.health[i].healthy(threshold) {
+			continue
+		}
+		if gen := backendGeneration(b); gen > target {
+			target = gen
+		}
+	}
+	return target
+}
+
+// Generation implements the response-cache generation probe: the
+// serving replica's generation (see servingGeneration), NOT a blanket
+// maximum over all replicas — a restarted replica still catching up
+// must neither drag the key down nor serve under it.
+func (g *ReplicaGroup) Generation() uint64 { return g.servingGeneration() }
+
+// InRotation counts replicas currently eligible to serve (healthy and
+// at the serving generation).
+func (g *ReplicaGroup) InRotation() int {
+	threshold := g.cfg.failureThreshold()
+	target := g.servingGeneration()
+	n := 0
+	for i, b := range g.replicas {
+		if g.health[i].healthy(threshold) && backendGeneration(b) == target {
+			n++
+		}
+	}
+	return n
+}
+
+// replicaCall routes one call across the group: round-robin from the
+// cursor over replicas admitted by health tracking, catching up lagging
+// replicas when possible, failing over to the next sibling on error.
+func replicaCall[T any](ctx context.Context, g *ReplicaGroup, call func(b ShardBackend) (T, error)) (T, error) {
+	var zero T
+	n := len(g.replicas)
+	start := int(g.cursor.Add(1) % uint64(n))
+	target := g.servingGeneration()
+	now := time.Now()
+	threshold := g.cfg.failureThreshold()
+	var lastErr error
+	attempted := false
+	for off := 0; off < n; off++ {
+		i := (start + off) % n
+		if !g.health[i].claimProbe(now, threshold) {
+			continue
+		}
+		if gen := backendGeneration(g.replicas[i]); gen != target {
+			// Healthy but generation-stale (just revived, missed mutation
+			// batches): replay what it missed before letting it serve; skip
+			// it if the log cannot get it to the serving generation.
+			if gen > target || !g.catchUp(ctx, i, gen, target) {
+				g.health[i].releaseProbe()
+				continue
+			}
+		}
+		if attempted {
+			g.om.ReplicaFailovers.Inc()
+		}
+		attempted = true
+		out, err := call(g.replicas[i])
+		failure := err != nil && !fatalQueryError(err)
+		if _, isOverload := overloadHint(err); isOverload {
+			failure = false // shedding is the admission layer working, not ill health
+		}
+		g.health[i].record(!failure, threshold, g.cfg.retryBackoff())
+		if err == nil {
+			return out, nil
+		}
+		if fatalQueryError(err) {
+			return zero, err
+		}
+		lastErr = err
+	}
+	if lastErr != nil {
+		return zero, lastErr
+	}
+	return zero, errors.New("no replica in rotation")
+}
+
+// catchUp replays the mutation batches replica i missed, bringing it
+// from generation cur to target. One catch-up runs at a time; callers
+// that lose the TryLock skip the replica this query. Returns whether
+// the replica reached the serving generation.
+func (g *ReplicaGroup) catchUp(ctx context.Context, i int, cur, target uint64) bool {
+	m, ok := g.replicas[i].(shardMutator)
+	if !ok {
+		return false
+	}
+	if !g.catchMu.TryLock() {
+		return false
+	}
+	defer g.catchMu.Unlock()
+	for cur < target {
+		ms, ok := g.batchFor(cur + 1)
+		if !ok {
+			return false // fell off the bounded log; needs operator help
+		}
+		info, err := m.Mutate(ctx, ms)
+		if err != nil {
+			return false
+		}
+		if info.Generation <= cur {
+			return false // not advancing; bail rather than loop
+		}
+		cur = info.Generation
+	}
+	g.om.ReplicaCatchups.Inc()
+	return true
+}
+
+// batchFor finds the logged batch that advanced the group to gen.
+func (g *ReplicaGroup) batchFor(gen uint64) ([]graph.Mutation, bool) {
+	g.muMu.Lock()
+	defer g.muMu.Unlock()
+	for _, b := range g.mulog {
+		if b.gen == gen {
+			return b.ms, true
+		}
+	}
+	return nil, false
+}
+
+// logBatch records an applied batch for later catch-up replay.
+// Caller holds muMu.
+func (g *ReplicaGroup) logBatch(gen uint64, ms []graph.Mutation) {
+	if len(g.mulog) >= maxMutationLog {
+		drop := maxMutationLog / 2
+		g.mulog = append(g.mulog[:0], g.mulog[drop:]...)
+	}
+	g.mulog = append(g.mulog, loggedBatch{gen: gen, ms: append([]graph.Mutation(nil), ms...)})
+}
+
+// Query implements ShardBackend with replica failover.
+func (g *ReplicaGroup) Query(ctx context.Context, a core.Algorithm, q int32, k int) (*core.Result, error) {
+	return replicaCall(ctx, g, func(b ShardBackend) (*core.Result, error) {
+		return b.Query(ctx, a, q, k)
+	})
+}
+
+// QueryBatch implements ShardBackend; the whole batch fails over
+// together (shard answers must come from ONE replica so the rank-floor
+// certificates stay coherent).
+func (g *ReplicaGroup) QueryBatch(ctx context.Context, a core.Algorithm, queries []int32, k int) ([]*core.Result, error) {
+	return replicaCall(ctx, g, func(b ShardBackend) ([]*core.Result, error) {
+		return b.QueryBatch(ctx, a, queries, k)
+	})
+}
+
+// Mutate fans one batch to every replica in lockstep (see the type
+// docs): the group stays mutable while at least one replica applies the
+// batch, and replicas that failed drop out of rotation by generation
+// until caught up.
+func (g *ReplicaGroup) Mutate(ctx context.Context, ms []graph.Mutation) (live.MutateInfo, error) {
+	muts := make([]shardMutator, len(g.replicas))
+	for i, b := range g.replicas {
+		m, ok := b.(shardMutator)
+		if !ok {
+			return live.MutateInfo{}, &ImmutableShardError{Shard: i}
+		}
+		muts[i] = m
+	}
+	g.muMu.Lock()
+	defer g.muMu.Unlock()
+
+	// A generation-lagging replica must NOT receive this batch directly:
+	// applying it would advance the replica's generation number while its
+	// graph still misses the batches in between — a replica claiming a
+	// generation whose content it does not have. Lagging replicas advance
+	// only through catch-up replay, which applies missed batches in
+	// order; here they are simply skipped (no health penalty — lagging is
+	// not illness).
+	target := g.servingGeneration()
+	infos := make([]live.MutateInfo, len(muts))
+	errs := make([]error, len(muts))
+	var wg sync.WaitGroup
+	for i, m := range muts {
+		if backendGeneration(g.replicas[i]) != target {
+			errs[i] = errReplicaLagging
+			continue
+		}
+		wg.Add(1)
+		go func(i int, m shardMutator) {
+			defer wg.Done()
+			infos[i], errs[i] = m.Mutate(ctx, ms)
+			if errs[i] != nil && !fatalQueryError(errs[i]) && !immutableRemote(errs[i]) {
+				infos[i], errs[i] = m.Mutate(ctx, ms)
+			}
+		}(i, m)
+	}
+	wg.Wait()
+
+	okIdx := -1
+	failed := map[int]error{}
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			if okIdx < 0 {
+				okIdx = i
+			}
+		case errors.Is(err, errReplicaLagging):
+			failed[i] = err
+		case immutableRemote(err):
+			return live.MutateInfo{}, &ImmutableShardError{Shard: i}
+		case errors.Is(err, core.ErrInvalidArgument):
+			// Bad batch: every replica refused identically, none applied.
+			return live.MutateInfo{}, err
+		default:
+			failed[i] = err
+			g.health[i].record(false, g.cfg.failureThreshold(), g.cfg.retryBackoff())
+		}
+	}
+	if okIdx < 0 {
+		return live.MutateInfo{}, &MutationError{Failed: failed}
+	}
+	g.logBatch(infos[okIdx].Generation, ms)
+	return infos[okIdx], nil
+}
+
+// Size implements ShardBackend: reads are load-balanced, so the group's
+// concurrent capacity is the sum over its replicas.
+func (g *ReplicaGroup) Size() int {
+	total := 0
+	for _, b := range g.replicas {
+		total += b.Size()
+	}
+	if total < 1 {
+		total = 1
+	}
+	return total
+}
+
+// Indexed implements ShardBackend: any replica may answer, so the
+// capability holds only when all replicas have it.
+func (g *ReplicaGroup) Indexed() bool {
+	for _, b := range g.replicas {
+		if !b.Indexed() {
+			return false
+		}
+	}
+	return true
+}
+
+// HubLabeled reports the capability only when every replica has it
+// (same reasoning as Indexed).
+func (g *ReplicaGroup) HubLabeled() bool {
+	for _, b := range g.replicas {
+		hl, ok := b.(interface{ HubLabeled() bool })
+		if !ok || !hl.HubLabeled() {
+			return false
+		}
+	}
+	return true
+}
+
+// HubLabelBytes reports the largest replica labeling: replicas hold
+// copies of the same labeling, so summing would double-count.
+func (g *ReplicaGroup) HubLabelBytes() int64 {
+	var max int64
+	for _, b := range g.replicas {
+		if hb, ok := b.(interface{ HubLabelBytes() int64 }); ok {
+			if v := hb.HubLabelBytes(); v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// MutationSnapshot aggregates the replicas' mutation counters for
+// /statsz (nil when no replica is live).
+func (g *ReplicaGroup) MutationSnapshot() any {
+	out := make(map[string]any)
+	for i, b := range g.replicas {
+		if msn, ok := b.(interface{ MutationSnapshot() any }); ok {
+			out[fmt.Sprintf("replica_%d", i)] = msn.MutationSnapshot()
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Describe implements ShardBackend.
+func (g *ReplicaGroup) Describe() string { return g.desc }
+
+// Close implements ShardBackend.
+func (g *ReplicaGroup) Close() error {
+	var first error
+	for _, b := range g.replicas {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// NewLocalReplicated builds an in-process replicated cluster: shards
+// groups of replicas immutable engine pools each, all sharing ix when
+// non-nil (one set of dictionaries, exactly like NewLocal). replicas
+// <= 1 degenerates to NewLocal's ungrouped backends.
+func NewLocalReplicated(g *graph.Graph, opts core.Options, part Partitioner, shards, replicas, poolSize int, ix ridx.Index, cfg Config) (*Coordinator, error) {
+	if replicas <= 1 {
+		return NewLocal(g, opts, part, shards, poolSize, ix, cfg)
+	}
+	if part == nil {
+		part = Modulo{}
+	}
+	backends := make([]ShardBackend, shards)
+	for i := 0; i < shards; i++ {
+		members := make([]ShardBackend, replicas)
+		for r := 0; r < replicas; r++ {
+			ls, err := NewLocalShard(g, opts, part, shards, i, poolSize, ix)
+			if err != nil {
+				return nil, err
+			}
+			members[r] = ls
+		}
+		rg, err := NewReplicaGroup(members, cfg)
+		if err != nil {
+			return nil, err
+		}
+		backends[i] = rg
+	}
+	return New(backends, cfg)
+}
+
+// NewLocalLiveReplicated builds an in-process replicated MUTABLE
+// cluster: shards groups of replicas live stores each. Every replica
+// owns a private graph copy and (when indexMaxK > 0) its own dynamic
+// index, exactly like NewLocalLive's shards; the group fans mutation
+// batches to all of them in lockstep.
+func NewLocalLiveReplicated(g *graph.Graph, base live.Config, indexMaxK int, part Partitioner, shards, replicas int, cfg Config) (*Coordinator, error) {
+	if replicas <= 1 {
+		return NewLocalLive(g, base, indexMaxK, part, shards, cfg)
+	}
+	if part == nil {
+		part = Modulo{}
+	}
+	backends := make([]ShardBackend, shards)
+	for i := 0; i < shards; i++ {
+		members := make([]ShardBackend, replicas)
+		for r := 0; r < replicas; r++ {
+			shardCfg := base
+			if indexMaxK > 0 {
+				shardCfg.Index = ridx.NewSharded(g.N(), indexMaxK)
+			}
+			ls, err := NewLiveShard(g, shardCfg, part, shards, i)
+			if err != nil {
+				return nil, err
+			}
+			members[r] = ls
+		}
+		rg, err := NewReplicaGroup(members, cfg)
+		if err != nil {
+			return nil, err
+		}
+		backends[i] = rg
+	}
+	return New(backends, cfg)
+}
+
+var (
+	_ ShardBackend = (*ReplicaGroup)(nil)
+	_ shardMutator = (*ReplicaGroup)(nil)
+)

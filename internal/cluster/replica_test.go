@@ -1,0 +1,362 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rkranks/internal/core"
+	"rkranks/internal/graph"
+	"rkranks/internal/live"
+	"rkranks/internal/obs"
+	tg "rkranks/internal/testgraphs"
+	"rkranks/internal/workload"
+)
+
+// flakyReplica wraps one replica with switchable query and mutation
+// failures (atomics: the switches flip while the group races).
+type flakyReplica struct {
+	ShardBackend
+	failQuery  atomic.Bool
+	failMutate atomic.Bool
+}
+
+func (f *flakyReplica) Query(ctx context.Context, a core.Algorithm, q int32, k int) (*core.Result, error) {
+	if f.failQuery.Load() {
+		return nil, errors.New("injected replica failure")
+	}
+	return f.ShardBackend.Query(ctx, a, q, k)
+}
+
+func (f *flakyReplica) QueryBatch(ctx context.Context, a core.Algorithm, queries []int32, k int) ([]*core.Result, error) {
+	if f.failQuery.Load() {
+		return nil, errors.New("injected replica failure")
+	}
+	return f.ShardBackend.QueryBatch(ctx, a, queries, k)
+}
+
+func (f *flakyReplica) Mutate(ctx context.Context, ms []graph.Mutation) (live.MutateInfo, error) {
+	if f.failMutate.Load() {
+		return live.MutateInfo{}, errors.New("injected mutate failure")
+	}
+	return f.ShardBackend.(shardMutator).Mutate(ctx, ms)
+}
+
+func (f *flakyReplica) Generation() uint64 {
+	if gp, ok := f.ShardBackend.(interface{ Generation() uint64 }); ok {
+		return gp.Generation()
+	}
+	return 0
+}
+
+// replicatedCoordinator hand-builds a shards x 2 coordinator with
+// replica 0 of every group wrapped in a flakyReplica, so tests can kill
+// exactly one replica per group.
+func replicatedCoordinator(t *testing.T, g *graph.Graph, shards int, liveMode bool, cfg Config) (*Coordinator, []*flakyReplica, []*ReplicaGroup) {
+	t.Helper()
+	var flakies []*flakyReplica
+	var groups []*ReplicaGroup
+	backends := make([]ShardBackend, shards)
+	for i := 0; i < shards; i++ {
+		members := make([]ShardBackend, 2)
+		for r := 0; r < 2; r++ {
+			var b ShardBackend
+			var err error
+			if liveMode {
+				b, err = NewLiveShard(g, live.Config{PoolSize: 1}, Modulo{}, shards, i)
+			} else {
+				b, err = NewLocalShard(g, core.Options{}, Modulo{}, shards, i, 1, nil)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r == 0 {
+				fr := &flakyReplica{ShardBackend: b}
+				flakies = append(flakies, fr)
+				b = fr
+			}
+			members[r] = b
+		}
+		rg, err := NewReplicaGroup(members, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups = append(groups, rg)
+		backends[i] = rg
+	}
+	coord, err := New(backends, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord, flakies, groups
+}
+
+// TestReplicaFailoverByteIdentity is the tentpole acceptance test: a
+// 2-shard x 2-replica cluster answers byte-identically to a single-node
+// pool — and never Partial — while one replica of EVERY group is down,
+// while it recovers, and while the kill switch flips concurrently with
+// a running batch (-race target).
+func TestReplicaFailoverByteIdentity(t *testing.T) {
+	g := tieHeavy(33, false, 80)
+	om := obs.NewMetrics(nil)
+	cfg := Config{Metrics: om, FailureThreshold: 1, RetryBackoff: time.Millisecond}
+	coord, flakies, groups := replicatedCoordinator(t, g, 2, false, cfg)
+	defer coord.Close()
+	single := core.NewPool(g, core.Options{}, 2)
+	queries := workload.Random(g, 24, 7)
+
+	check := func(phase string) {
+		t.Helper()
+		results, err := coord.QueryMany(core.Dynamic, queries, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", phase, err)
+		}
+		for i, q := range queries {
+			want, err := single.Query(core.Dynamic, q, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if results[i].Partial {
+				t.Fatalf("%s: q=%d flagged Partial despite a healthy sibling", phase, q)
+			}
+			if !entriesEqual(results[i].Entries, want.Entries) {
+				t.Fatalf("%s: q=%d diverged:\n group  %v\n single %v", phase, q, results[i].Entries, want.Entries)
+			}
+		}
+	}
+
+	check("all replicas up")
+	for _, f := range flakies {
+		f.failQuery.Store(true)
+	}
+	check("one replica per group down")
+	if om.ReplicaFailovers.Value() == 0 {
+		t.Error("no failover was counted while a replica per group was down")
+	}
+	for _, f := range flakies {
+		f.failQuery.Store(false)
+	}
+	time.Sleep(2 * time.Millisecond) // let the 1ms probe backoff expire
+	check("replicas recovered")
+
+	// Kill switch flipping mid-batch, racing the scatter.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			for _, f := range flakies {
+				f.failQuery.Store(true)
+			}
+			time.Sleep(500 * time.Microsecond)
+			for _, f := range flakies {
+				f.failQuery.Store(false)
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+	for round := 0; round < 5; round++ {
+		check("mid-batch kill")
+	}
+	close(done)
+
+	for i, rg := range groups {
+		if n := rg.InRotation(); n == 0 {
+			t.Errorf("group %d has no replica in rotation after recovery", i)
+		}
+	}
+}
+
+// TestReplicaGroupServingGeneration is the stale-replica cache-poisoning
+// regression: while one replica lags behind by missed mutation batches,
+// the group's Generation() — the response cache's key — must equal the
+// SERVING replica's generation, every answer must be stamped with
+// exactly that generation, and the lagging replica must stay out of
+// rotation until catch-up replays what it missed.
+func TestReplicaGroupServingGeneration(t *testing.T) {
+	g := tg.Path(30)
+	om := obs.NewMetrics(nil)
+	cfg := Config{Metrics: om}
+	ctx := context.Background()
+
+	healthy, err := NewLiveShard(g, live.Config{PoolSize: 1}, Modulo{}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lagBase, err := NewLiveShard(g, live.Config{PoolSize: 1}, Modulo{}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lag := &flakyReplica{ShardBackend: lagBase}
+	rg, err := NewReplicaGroup([]ShardBackend{healthy, lag}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rg.Generation()
+	if rg.InRotation() != 2 {
+		t.Fatalf("fresh group rotation = %d, want 2", rg.InRotation())
+	}
+
+	// Two batches land while the lagging replica refuses mutations.
+	lag.failMutate.Store(true)
+	for i, w := range []float64{2.5, 3.5} {
+		info, err := rg.Mutate(ctx, []graph.Mutation{graph.SetWeight(0, 1, w)})
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if info.Generation != base+uint64(i)+1 {
+			t.Fatalf("batch %d advanced to generation %d, want %d", i, info.Generation, base+uint64(i)+1)
+		}
+	}
+	serving := base + 2
+
+	if got := rg.Generation(); got != serving {
+		t.Fatalf("group generation = %d, want serving replica's %d", got, serving)
+	}
+	if rg.InRotation() != 1 {
+		t.Fatalf("rotation = %d, want 1 (lagging replica excluded)", rg.InRotation())
+	}
+	// Every answer the group produces must carry the generation the
+	// cache would key it under — a stale replica serving old answers
+	// under the new key is exactly the poisoning this guards against.
+	for q := int32(0); q < 6; q++ {
+		res, err := rg.Query(ctx, core.Dynamic, q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Generation != rg.Generation() {
+			t.Fatalf("q=%d served generation %d under cache key generation %d", q, res.Generation, rg.Generation())
+		}
+	}
+	if lag.Generation() != base {
+		t.Fatalf("lagging replica advanced to %d without catch-up", lag.Generation())
+	}
+
+	// Heal the replica: the next queries replay both missed batches (in
+	// order, from the group's log) before it serves again.
+	lag.failMutate.Store(false)
+	for q := int32(0); q < 6 && rg.InRotation() < 2; q++ {
+		if _, err := rg.Query(ctx, core.Dynamic, q, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rg.InRotation() != 2 {
+		t.Fatalf("rotation = %d after heal, want 2", rg.InRotation())
+	}
+	if lag.Generation() != serving {
+		t.Fatalf("caught-up replica at generation %d, want %d", lag.Generation(), serving)
+	}
+	if om.ReplicaCatchups.Value() == 0 {
+		t.Error("catch-up was not counted")
+	}
+}
+
+// TestLiveReplicatedByteIdentity drives a 2x2 LIVE cluster through
+// mutation batches and queries in lockstep with a single-node live
+// store, killing one replica per group for the middle batches: answers
+// must stay byte-identical and non-Partial throughout, and the revived
+// replicas must catch up (replaying missed batches) before rejoining.
+func TestLiveReplicatedByteIdentity(t *testing.T) {
+	g := tg.Path(40)
+	om := obs.NewMetrics(nil)
+	cfg := Config{Metrics: om}
+	ctx := context.Background()
+	coord, flakies, groups := replicatedCoordinator(t, g, 2, true, cfg)
+	defer coord.Close()
+	single, err := live.NewStore(g, live.Config{PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := workload.Random(g, 8, 11)
+
+	check := func(round int) {
+		t.Helper()
+		for _, q := range queries {
+			want, err := single.QueryContext(ctx, core.Dynamic, q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := coord.Query(core.Dynamic, q, 5)
+			if err != nil {
+				t.Fatalf("round %d q=%d: %v", round, q, err)
+			}
+			if got.Partial {
+				t.Fatalf("round %d q=%d: Partial with healthy siblings", round, q)
+			}
+			if !entriesEqual(got.Entries, want.Entries) {
+				t.Fatalf("round %d q=%d diverged:\n cluster %v\n single  %v", round, q, got.Entries, want.Entries)
+			}
+		}
+	}
+
+	for round := 0; round < 6; round++ {
+		// Rounds 2-3 run with one replica per group refusing everything.
+		if round == 2 {
+			for _, f := range flakies {
+				f.failQuery.Store(true)
+				f.failMutate.Store(true)
+			}
+		}
+		if round == 4 {
+			for _, f := range flakies {
+				f.failQuery.Store(false)
+				f.failMutate.Store(false)
+			}
+		}
+		batch := []graph.Mutation{graph.SetWeight(int32(round), int32(round)+1, float64(round)+2)}
+		wantInfo, err := single.Mutate(ctx, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotInfo, err := coord.Mutate(ctx, batch)
+		if err != nil {
+			t.Fatalf("round %d mutate: %v", round, err)
+		}
+		if gotInfo.Generation != wantInfo.Generation {
+			t.Fatalf("round %d generation %d, want %d", round, gotInfo.Generation, wantInfo.Generation)
+		}
+		check(round)
+	}
+
+	// Post-heal queries must have driven catch-up on both groups.
+	for i, rg := range groups {
+		for q := int32(0); q < 8 && rg.InRotation() < 2; q++ {
+			if _, err := rg.Query(ctx, core.Dynamic, q, 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if rg.InRotation() != 2 {
+			t.Errorf("group %d rotation = %d after heal, want 2", i, rg.InRotation())
+		}
+	}
+	if om.ReplicaCatchups.Value() == 0 {
+		t.Error("no catch-up was counted for the revived replicas")
+	}
+	check(99)
+}
+
+// TestCoordinatorMutateImmutableReplicaGroup: a replica group of
+// immutable shards must surface ImmutableShardError (501) through the
+// coordinator, not be miscounted as a generic mutation failure (503).
+func TestCoordinatorMutateImmutableReplicaGroup(t *testing.T) {
+	g := tg.Path(20)
+	members := localShards(t, g, 2)
+	rg, err := NewReplicaGroup(members, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := New([]ShardBackend{rg}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = coord.Mutate(context.Background(), []graph.Mutation{graph.SetWeight(0, 1, 2)})
+	var ise *ImmutableShardError
+	if !errors.As(err, &ise) {
+		t.Fatalf("error = %v, want ImmutableShardError", err)
+	}
+}

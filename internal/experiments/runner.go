@@ -160,10 +160,11 @@ func runBatch(e *core.Engine, algo core.Algorithm, queries []int32, k int) (batc
 // load sweep, the sharded scatter-gather study (rank-floor pruning vs
 // naive gather across shard counts, through internal/cluster), the
 // batch-scatter plus response-cache study (internal/cache over
-// internal/cluster), and the hub-label engine study (precomputed 2-hop
-// label pruning vs Dynamic, through internal/hub); "mutation" measures
-// the live-mutation pipeline (weight patches vs rebuild swaps, through
-// internal/live).
+// internal/cluster), the replica-set failover study ("serving_replica":
+// ReplicaGroup serving with a dead replica per group), and the
+// hub-label engine study (precomputed 2-hop label pruning vs Dynamic,
+// through internal/hub); "mutation" measures the live-mutation pipeline
+// (weight patches vs rebuild swaps, through internal/live).
 var names = []string{
 	"table3", "table4", "figure5",
 	"figure6", "naive",
@@ -176,6 +177,7 @@ var names = []string{
 	"serving_http",
 	"serving_cluster",
 	"serving_batch",
+	"serving_replica",
 	"hublabel",
 	"mutation",
 }
@@ -246,6 +248,9 @@ func (r *Runner) Run(name string) ([]*stats.Table, error) {
 		return wrap(t), err
 	case "serving_batch":
 		t, err := r.ServingBatch()
+		return wrap(t), err
+	case "serving_replica":
+		t, err := r.ServingReplica()
 		return wrap(t), err
 	case "hublabel":
 		t, err := r.HubLabelBench()

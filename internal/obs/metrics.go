@@ -59,6 +59,14 @@ type Metrics struct {
 	LabelPruned            *Counter
 	LabelFallbacks         *Counter
 
+	// Replica groups and index replication.
+	ReplicaFailovers     *Counter
+	ReplicaCatchups      *Counter
+	IndexSnapshotsServed *Counter
+	IndexDeltasServed    *Counter
+	IndexSnapshotsLoaded *Counter
+	IndexDeltasApplied   *Counter
+
 	// Flight recorder.
 	SlowQueries *Counter
 }
@@ -143,6 +151,19 @@ func NewMetrics(r *Registry) *Metrics {
 		"Candidates settled purely from hub-label bounds.")
 	m.LabelFallbacks = r.NewCounter("rkranks_label_fallbacks_total",
 		"Hub-label candidates that needed Dijkstra fallback refinement.")
+
+	m.ReplicaFailovers = r.NewCounter("rkranks_replica_failovers_total",
+		"Queries retried on a sibling replica after a replica failed.")
+	m.ReplicaCatchups = r.NewCounter("rkranks_replica_catchups_total",
+		"Replicas readmitted to rotation after catching up missed mutation batches.")
+	m.IndexSnapshotsServed = r.NewCounter("rkranks_index_snapshots_served_total",
+		"Index snapshots served over /v1/index/snapshot.")
+	m.IndexDeltasServed = r.NewCounter("rkranks_index_deltas_served_total",
+		"Index deltas served over /v1/index/deltas (individual updates).")
+	m.IndexSnapshotsLoaded = r.NewCounter("rkranks_index_snapshots_loaded_total",
+		"Index snapshots fetched from a leader and absorbed by this replica.")
+	m.IndexDeltasApplied = r.NewCounter("rkranks_index_deltas_applied_total",
+		"Index deltas fetched from a leader and applied by this replica.")
 
 	m.SlowQueries = r.NewCounter("rkranks_slow_queries_total",
 		"Requests captured by the flight recorder as over-threshold.")

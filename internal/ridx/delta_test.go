@@ -1,0 +1,238 @@
+package ridx
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// feed drives n pseudo-random exact facts through an index the way
+// query refinement would: offers, with an occasional check raise
+// justified by prior offers (witness-before-bound order).
+func feed(ix Index, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	nodes := int32(ix.N())
+	for i := 0; i < n; i++ {
+		v, u := rng.Int31n(nodes), rng.Int31n(nodes)
+		ix.Offer(v, u, 1+rng.Int31n(50))
+		if i%7 == 0 {
+			ix.RaiseCheck(u, 1+rng.Int31n(20))
+		}
+	}
+}
+
+// stateEqual compares the full dictionary state of two indexes.
+func stateEqual(t *testing.T, got, want Index) {
+	t.Helper()
+	if got.N() != want.N() {
+		t.Fatalf("N: %d vs %d", got.N(), want.N())
+	}
+	for u := int32(0); u < int32(want.N()); u++ {
+		if g, w := got.Check(u), want.Check(u); g != w {
+			t.Fatalf("Check(%d) = %d, want %d", u, g, w)
+		}
+	}
+	for v := int32(0); v < int32(want.N()); v++ {
+		g, w := got.Reverse(v), want.Reverse(v)
+		if len(g) == 0 && len(w) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("Reverse(%d) = %v, want %v", v, g, w)
+		}
+	}
+}
+
+// TestReplicatedSnapshotDeltaReplay is the tentpole correctness test:
+// a follower bootstrapped from a leader's serialized snapshot and then
+// fed the leader's deltas converges on exactly the leader's dictionary
+// state, including updates that raced the snapshot.
+func TestReplicatedSnapshotDeltaReplay(t *testing.T) {
+	leader := NewReplicated(NewSharded(60, 8), 0)
+	feed(leader, 400, 1)
+
+	var buf bytes.Buffer
+	seq, gen, err := leader.WriteSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 0 {
+		t.Fatalf("immutable leader generation = %d, want 0", gen)
+	}
+
+	// Leader keeps learning after the snapshot was cut.
+	feed(leader, 300, 2)
+
+	sh, err := ReadSharded(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower := NewReplicated(sh, 0)
+
+	// Drain in small batches to exercise the cursor arithmetic.
+	cursor := seq
+	preApply := follower.Seq()
+	for {
+		ds, next, ok := leader.DeltasSince(cursor, 17)
+		if !ok {
+			t.Fatalf("cursor %d fell off an un-truncated log", cursor)
+		}
+		if len(ds) == 0 {
+			break
+		}
+		follower.Apply(ds)
+		cursor = next
+	}
+	stateEqual(t, follower, leader)
+	if follower.Seq() == preApply {
+		t.Fatal("Apply did not re-log any delta; the follower could not lead further replicas")
+	}
+
+	// Chained replication: a third replica bootstrapped from the
+	// FOLLOWER's snapshot + deltas also converges on the leader's state.
+	var buf2 bytes.Buffer
+	seq2, _, err := follower.WriteSnapshot(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh2, err := ReadSharded(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	third := NewReplicated(sh2, 0)
+	ds, _, ok := follower.DeltasSince(seq2, 0)
+	if !ok {
+		t.Fatalf("follower log unreadable from its own snapshot cursor %d", seq2)
+	}
+	third.Apply(ds)
+	stateEqual(t, third, leader)
+}
+
+// TestDeltasSinceTruncation: a cursor older than the bounded log's base
+// reports ok=false (snapshot required); the tail stays readable.
+func TestDeltasSinceTruncation(t *testing.T) {
+	r := NewReplicated(NewSharded(30, 4), 8)
+	for i := int32(0); i < 20; i++ {
+		r.Offer(i%30, (i+1)%30, i+1)
+	}
+	if _, next, ok := r.DeltasSince(0, 0); ok {
+		t.Fatal("cursor 0 should have fallen off a cap-8 log")
+	} else if next != r.Seq() {
+		t.Fatalf("truncation next = %d, want Seq %d", next, r.Seq())
+	}
+	if ds, next, ok := r.DeltasSince(r.Seq(), 0); !ok || len(ds) != 0 || next != r.Seq() {
+		t.Fatalf("caught-up cursor: ds=%v next=%d ok=%v", ds, next, ok)
+	}
+}
+
+// TestInvalidateResetsLog: invalidation discards the log and bumps the
+// generation — the two signals a follower uses to fall back to a fresh
+// snapshot instead of replaying deltas of a discarded answer set.
+func TestInvalidateResetsLog(t *testing.T) {
+	r := NewReplicated(NewSharded(30, 4), 0)
+	feed(r, 50, 3)
+	old := uint64(0)
+	gen := r.Generation()
+
+	r.Invalidate()
+	if r.Generation() != gen+1 {
+		t.Fatalf("generation = %d, want %d", r.Generation(), gen+1)
+	}
+	if _, _, ok := r.DeltasSince(old, 0); ok {
+		t.Fatal("pre-invalidate cursor must require a snapshot")
+	}
+	if r.Entries() != 0 {
+		t.Fatalf("invalidated index still holds %d entries", r.Entries())
+	}
+	// A fully caught-up cursor stays readable (empty); the generation
+	// change is what tells that follower to re-sync.
+	if ds, _, ok := r.DeltasSince(r.Seq(), 0); !ok || len(ds) != 0 {
+		t.Fatalf("caught-up cursor after reset: ds=%v ok=%v", ds, ok)
+	}
+}
+
+// TestAbsorbIdempotent: absorbing the same snapshot twice changes
+// nothing the second time.
+func TestAbsorbIdempotent(t *testing.T) {
+	leader := NewReplicated(NewSharded(40, 6), 0)
+	feed(leader, 200, 4)
+	snap, _, _ := leader.SnapshotState()
+
+	follower := NewReplicated(NewSharded(40, 6), 0)
+	if n := follower.Absorb(snap); n == 0 {
+		t.Fatal("first absorb applied nothing")
+	}
+	stateEqual(t, follower, leader)
+	if n := follower.Absorb(snap); n != 0 {
+		t.Fatalf("second absorb applied %d updates, want 0", n)
+	}
+	stateEqual(t, follower, leader)
+}
+
+// TestRaiseGenerationMonotone: RaiseGeneration only moves forward.
+func TestRaiseGenerationMonotone(t *testing.T) {
+	r := NewReplicated(NewSharded(10, 4), 0)
+	r.RaiseGeneration(5)
+	if g := r.Generation(); g != 5 {
+		t.Fatalf("generation = %d, want 5", g)
+	}
+	r.RaiseGeneration(3)
+	if g := r.Generation(); g != 5 {
+		t.Fatalf("generation regressed to %d", g)
+	}
+}
+
+// TestReplicatedConcurrent hammers a leader with concurrent refinement
+// while a follower streams snapshots and deltas off it (-race target);
+// after a final drain the follower state must equal the leader's.
+func TestReplicatedConcurrent(t *testing.T) {
+	leader := NewReplicated(NewSharded(50, 8), 0)
+	follower := NewReplicated(NewSharded(50, 8), 0)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			feed(leader, 300, seed)
+		}(int64(w + 10))
+	}
+
+	// Concurrent reader: bootstrap mid-write, then stream deltas.
+	wg.Add(1)
+	var cursor uint64
+	go func() {
+		defer wg.Done()
+		snap, seq, _ := leader.SnapshotState()
+		follower.Absorb(snap)
+		cursor = seq
+		for i := 0; i < 50; i++ {
+			ds, next, ok := leader.DeltasSince(cursor, 64)
+			if !ok {
+				snap, seq, _ := leader.SnapshotState()
+				follower.Absorb(snap)
+				cursor = seq
+				continue
+			}
+			follower.Apply(ds)
+			cursor = next
+		}
+	}()
+	wg.Wait()
+
+	// Writers are done: one final drain reaches the fixed point.
+	for {
+		ds, next, ok := leader.DeltasSince(cursor, 0)
+		if !ok {
+			t.Fatal("final cursor fell off the log")
+		}
+		if len(ds) == 0 {
+			break
+		}
+		follower.Apply(ds)
+		cursor = next
+	}
+	stateEqual(t, follower, leader)
+}

@@ -21,9 +21,11 @@
 // Endpoints (documents defined in internal/api, the one home of the wire
 // protocol):
 //
-//	POST /v1/query   {"algorithm":"indexed","q":12,"k":10,"timeout_ms":500}
-//	POST /v1/batch   {"algorithm":"dynamic","queries":[1,2,3],"k":10}
-//	POST /v1/mutate  {"mutations":[{"op":"set_weight","u":3,"v":9,"weight":2}]}
+//	POST /v1/query          {"algorithm":"indexed","q":12,"k":10,"timeout_ms":500}
+//	POST /v1/batch          {"algorithm":"dynamic","queries":[1,2,3],"k":10}
+//	POST /v1/mutate         {"mutations":[{"op":"set_weight","u":3,"v":9,"weight":2}]}
+//	GET  /v1/index/snapshot (binary index snapshot; see replication.go)
+//	GET  /v1/index/deltas?since=N
 //	GET  /healthz
 //	GET  /statsz
 package server
@@ -279,6 +281,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/mutate", s.handleMutate)
+	s.mux.HandleFunc("GET /v1/index/snapshot", s.handleIndexSnapshot)
+	s.mux.HandleFunc("GET /v1/index/deltas", s.handleIndexDeltas)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.Handle("GET /debug/requestz", s.recorder.Handler())
@@ -703,6 +707,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	if msn, ok := probeBackend[interface{ MutationSnapshot() any }](s.backend); ok {
 		snap.Mutations = msn.MutationSnapshot()
 	}
+	snap.Replication = s.replicationSnapshot()
 	writeJSON(w, http.StatusOK, snap)
 }
 

@@ -89,7 +89,13 @@
 // coordinator fetches only what the merged cutoff cannot exclude.
 // cmd/rkcluster serves the same coordinator over HTTP, with shards
 // in-process or on remote rkserve instances (rkserve -shard i/P); see the
-// README's "Clustered serving".
+// README's "Clustered serving". Each shard may be a replica SET
+// (ClusterOptions.Replicas, or per-shard replica lists in a Topology
+// file): queries load-balance across healthy replicas and fail over
+// without changing a byte of any answer, and replicas inherit a leader's
+// learned index state over /v1/index/snapshot + /v1/index/deltas instead
+// of re-deriving it from their own traffic; see the README's
+// "Replication & failover".
 package rkranks
 
 import (
@@ -280,10 +286,12 @@ type ClusterOptions struct {
 	// StrictConsistency refuses queries whenever a shard is unavailable
 	// instead of answering partially (Result.Partial).
 	StrictConsistency bool
-	// Strict is the old name of StrictConsistency; either enables it.
-	//
-	// Deprecated: use StrictConsistency.
-	Strict bool
+	// Replicas runs each shard as a replica set of this many identical
+	// backends (0 or 1 means unreplicated): queries load-balance across
+	// healthy replicas and fail over transparently — answers are
+	// byte-identical either way — and mutations fan to every replica in
+	// lockstep. See the README's "Replication & failover".
+	Replicas int
 	// FirstRoundK overrides the reduced first scatter round's per-shard k
 	// (0 = auto ceil(k/Shards)+2; >= k disables rank-floor pruning).
 	FirstRoundK int
@@ -316,12 +324,15 @@ func NewCluster(g *Graph, opts Options, co ClusterOptions) (*Cluster, error) {
 	if co.Shards < 0 {
 		return nil, optErr("ClusterOptions.Shards must be >= 1, got %d", co.Shards)
 	}
+	if co.Replicas < 0 {
+		return nil, optErr("ClusterOptions.Replicas must be >= 0, got %d", co.Replicas)
+	}
 	part, err := cluster.ParsePartitioner(co.Partitioner)
 	if err != nil {
 		return nil, optErr("%s", err)
 	}
 	cfg := cluster.Config{
-		StrictConsistency: co.StrictConsistency || co.Strict,
+		StrictConsistency: co.StrictConsistency,
 		FirstRoundK:       co.FirstRoundK,
 	}
 	if co.Live {
@@ -329,14 +340,70 @@ func NewCluster(g *Graph, opts Options, co ClusterOptions) (*Cluster, error) {
 		if co.Index != nil {
 			indexMaxK = co.Index.MaxK()
 		}
-		return cluster.NewLocalLive(g, live.Config{
+		return cluster.NewLocalLiveReplicated(g, live.Config{
 			Options:  opts,
 			PoolSize: co.PoolSize,
 			Labels:   co.Labels,
 			Relabel:  co.Relabel,
-		}, indexMaxK, part, co.Shards, cfg)
+		}, indexMaxK, part, co.Shards, co.Replicas, cfg)
 	}
-	return cluster.NewLocal(g, opts, part, co.Shards, co.PoolSize, co.Index, cfg)
+	return cluster.NewLocalReplicated(g, opts, part, co.Shards, co.Replicas, co.PoolSize, co.Index, cfg)
+}
+
+// Declarative cluster topology. cmd/rkcluster boots from one JSON
+// document instead of positional flags: the shard layout, the replica
+// set behind each shard, and the coordinator options all live in one
+// reviewable file (see the README's "Replication & failover" for the
+// format). The types are shared with the wire package, so a topology
+// serializes the same way everywhere.
+type (
+	// Topology declares a whole cluster: coordinator options plus either
+	// a Local section (in-process shards) or a Shards list (remote
+	// replica sets). The zero value of every field means "use the sane
+	// default".
+	Topology = api.Topology
+	// TopologyShard is one shard's replica set: the rkserve base URLs
+	// that all serve the same shard mask.
+	TopologyShard = api.TopologyShard
+	// LocalTopology declares in-process shards (the -local equivalent).
+	LocalTopology = api.LocalTopology
+)
+
+// ReadTopology parses and validates a topology document (strict JSON:
+// unknown fields are errors, so typos fail the boot instead of silently
+// meaning their default). Invalid documents fail with an error wrapping
+// ErrInvalidOptions.
+func ReadTopology(r io.Reader) (*Topology, error) {
+	t, err := api.ReadTopology(r)
+	if err != nil {
+		return nil, optErr("%s", err)
+	}
+	return t, nil
+}
+
+// ValidateTopology checks a programmatically built Topology the same way
+// ReadTopology checks a parsed one, returning an ErrInvalidOptions-
+// wrapping error for out-of-range values.
+func ValidateTopology(t *Topology) error {
+	if err := t.Validate(); err != nil {
+		return optErr("%s", err)
+	}
+	return nil
+}
+
+// ReplicatedIndex wraps a ConcurrentIndex with a replication delta log:
+// every dictionary refinement the index learns is also appended to a
+// bounded log, so rkserve can stream the learned state to follower
+// replicas (GET /v1/index/snapshot + /v1/index/deltas) instead of each
+// replica re-deriving it from its own traffic. It implements Index and
+// is safe to share exactly like the ConcurrentIndex it wraps.
+type ReplicatedIndex = ridx.Replicated
+
+// NewReplicatedIndex wraps ix for replication with a default-sized delta
+// log. Pass the result anywhere an Index is accepted (NewPoolWithIndex,
+// ClusterOptions.Index).
+func NewReplicatedIndex(ix *ConcurrentIndex) *ReplicatedIndex {
+	return ridx.NewReplicated(ix, 0)
 }
 
 // Live mutation surface. A LiveBackend (or a Live cluster) serves the

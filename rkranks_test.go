@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -532,5 +533,76 @@ func TestPublicCachedBackend(t *testing.T) {
 	// MaxMB: 0 means the 64 MiB default.
 	if _, err := rkranks.NewCachedBackend(pool, rkranks.CacheOptions{}); err != nil {
 		t.Errorf("zero CacheOptions rejected: %v", err)
+	}
+}
+
+// TestPublicReplicatedCluster: ClusterOptions.Replicas runs each shard
+// as a replica set with byte-identical answers, the topology helpers
+// round-trip and reject through ErrInvalidOptions, and a
+// ReplicatedIndex drops in wherever an Index is accepted.
+func TestPublicReplicatedCluster(t *testing.T) {
+	g, id := toyGraph()
+	cl, err := rkranks.NewCluster(g, rkranks.Options{}, rkranks.ClusterOptions{Shards: 2, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	want, err := rkranks.ReverseKRanks(g, id["Alice"], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Query(rkranks.Dynamic, id["Alice"], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial || len(res.Entries) != len(want) {
+		t.Fatalf("replicated cluster degraded: %+v", res)
+	}
+	for i := range want {
+		if res.Entries[i] != want[i] {
+			t.Fatalf("replicated cluster diverged: %v vs %v", res.Entries, want)
+		}
+	}
+
+	if _, err := rkranks.NewCluster(g, rkranks.Options{}, rkranks.ClusterOptions{Replicas: -1}); !errors.Is(err, rkranks.ErrInvalidOptions) {
+		t.Errorf("Replicas: -1: %v", err)
+	}
+
+	topo, err := rkranks.ReadTopology(strings.NewReader(`{"local": {"shards": 2, "replicas": 2}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Local.ShardCount() != 2 || topo.Local.ReplicaCount() != 2 {
+		t.Errorf("topology counts = %d/%d, want 2/2", topo.Local.ShardCount(), topo.Local.ReplicaCount())
+	}
+	if _, err := rkranks.ReadTopology(strings.NewReader(`{"sharts": 2}`)); !errors.Is(err, rkranks.ErrInvalidOptions) {
+		t.Errorf("unknown topology field: %v", err)
+	}
+	bad := &rkranks.Topology{Local: &rkranks.LocalTopology{Shards: 1}, Shards: []rkranks.TopologyShard{{Replicas: []string{"http://a"}}}}
+	if err := rkranks.ValidateTopology(bad); !errors.Is(err, rkranks.ErrInvalidOptions) {
+		t.Errorf("local+shards topology: %v", err)
+	}
+
+	ix, err := rkranks.NewConcurrentIndex(g, rkranks.IndexParams{
+		HubFraction: 0.5, RankFraction: 0.5, MaxK: 10, Strategy: rkranks.DegreeHubs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ricl, err := rkranks.NewCluster(g, rkranks.Options{}, rkranks.ClusterOptions{
+		Shards: 2, Replicas: 2, Index: rkranks.NewReplicatedIndex(ix),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ricl.Close()
+	ires, err := ricl.Query(rkranks.Indexed, id["Alice"], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if ires.Entries[i] != want[i] {
+			t.Fatalf("replicated indexed cluster diverged: %v vs %v", ires.Entries, want)
+		}
 	}
 }

@@ -268,6 +268,18 @@ func (s *RemoteShard) Mutate(ctx context.Context, ms []graph.Mutation) (live.Mut
 	}, nil
 }
 
+// ProbeGeneration asks the remote backend its current graph generation
+// over /statsz. The mutate retry guard uses it to detect a batch the
+// server committed even though the response was lost in transit —
+// re-sending such a batch would double-apply it.
+func (s *RemoteShard) ProbeGeneration(ctx context.Context) (uint64, error) {
+	doc, err := s.client.Stats(ctx)
+	if err != nil {
+		return 0, err
+	}
+	return doc.Generation, nil
+}
+
 // LiveShard serves a shard from an in-process live store: the mutable
 // counterpart of LocalShard. Its candidate mask is recomputed from the
 // partitioner on every topology rebuild, so vertices added after boot

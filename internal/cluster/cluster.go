@@ -704,11 +704,28 @@ func (c *Coordinator) Mutate(ctx context.Context, ms []graph.Mutation) (live.Mut
 		wg.Add(1)
 		go func(i int, m shardMutator) {
 			defer wg.Done()
+			preGen, preKnown := currentGeneration(ctx, c.backends[i])
 			infos[i], errs[i] = m.Mutate(ctx, ms)
-			if errs[i] != nil && !fatalQueryError(errs[i]) && !immutableRemote(errs[i]) && !isImmutableShard(errs[i]) {
-				// One retry absorbs transient shard hiccups; validation
-				// errors and 501s would fail identically again.
-				infos[i], errs[i] = m.Mutate(ctx, ms)
+			if errs[i] == nil || fatalQueryError(errs[i]) || immutableRemote(errs[i]) || isImmutableShard(errs[i]) {
+				return
+			}
+			// One retry absorbs transient shard hiccups; validation errors
+			// and 501s would fail identically again. The retry is guarded:
+			// a non-fatal error does not prove the batch was not applied
+			// (a remote transport can fail after the server committed it),
+			// and re-sending an applied batch would double-apply it on
+			// this shard alone — so a generation that provably advanced
+			// counts as an apply instead.
+			if gen, ok := currentGeneration(ctx, c.backends[i]); preKnown && ok && gen > preGen {
+				infos[i], errs[i] = live.MutateInfo{Applied: len(ms), Generation: gen}, nil
+				return
+			}
+			infos[i], errs[i] = m.Mutate(ctx, ms)
+			if errs[i] == nil || fatalQueryError(errs[i]) || immutableRemote(errs[i]) || isImmutableShard(errs[i]) {
+				return
+			}
+			if gen, ok := currentGeneration(ctx, c.backends[i]); preKnown && ok && gen > preGen {
+				infos[i], errs[i] = live.MutateInfo{Applied: len(ms), Generation: gen}, nil
 			}
 		}(i, m)
 	}

@@ -107,6 +107,34 @@ func isImmutableShard(err error) bool {
 	return errors.As(err, &ise)
 }
 
+// GroupRegressedError reports a mutation batch refused by a replica
+// group whose serving generation regressed below its high-water
+// generation: every replica holding the newest logged batches is out of
+// rotation, so accepting a new batch would mint a generation number the
+// batch log already holds with DIFFERENT content — and once the
+// up-to-date replica recovers, replicas with divergent graphs would
+// report identical generations, silently breaking byte-identical
+// answers and cache keying. The group heals itself (catch-up replay
+// from the batch log, or the up-to-date replica's recovery probe);
+// callers should retry.
+type GroupRegressedError struct {
+	// Serving is the group's current (regressed) serving generation.
+	Serving uint64
+	// HighWater is the newest generation the group ever observed or
+	// logged.
+	HighWater uint64
+}
+
+func (e *GroupRegressedError) Error() string {
+	return fmt.Sprintf("cluster: replica group serving generation %d regressed below high-water %d; mutations refused until the group re-converges", e.Serving, e.HighWater)
+}
+
+// HTTPStatus implements the server error-mapping probe: a transient
+// availability refusal, 503 like a failed mutation fan-out.
+func (e *GroupRegressedError) HTTPStatus() (int, string) {
+	return http.StatusServiceUnavailable, "group_regressed"
+}
+
 // MutationError reports a mutation batch that failed on one or more
 // shards after the coordinator's retry. The cluster's shard generations
 // may now be skewed: queries refuse to merge across generations (see

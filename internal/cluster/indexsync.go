@@ -63,6 +63,14 @@ type IndexFollower struct {
 	leaderGen uint64
 	cfg       IndexFollowerConfig
 	om        *obs.Metrics
+
+	// lastResyncGen/resyncsAtGen detect a re-sync loop: repeated full
+	// snapshot re-syncs at one unchanged leader generation mean the
+	// incremental stream never gets a chance (e.g. the leader's delta
+	// log truncates faster than the poll interval) and deserve a loud
+	// log instead of silent churn.
+	lastResyncGen uint64
+	resyncsAtGen  int
 }
 
 // NewIndexFollower builds a follower resuming from cursor/leaderGen (as
@@ -126,13 +134,29 @@ func (f *IndexFollower) resync(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("cluster: index re-sync parse: %w", err)
 	}
-	// A same-generation re-sync (log truncation) merges: every fact both
-	// sides hold is exact, so local refinements survive. A generation
-	// CHANGE means the leader discarded its answer set — keeping local
-	// facts derived under the old generation would resurrect exactly the
-	// answers the invalidation exists to retract, so discard first.
-	if gen != f.repl.Generation() {
+	// A re-sync at the leader generation we last synced against (log
+	// truncation) merges: every fact both sides hold is exact, so local
+	// refinements survive. A leader-generation CHANGE means the leader
+	// discarded its answer set — keeping local facts derived under the
+	// old one would resurrect exactly the answers the invalidation
+	// exists to retract, so discard first. The comparison is against the
+	// last SYNCED leader generation, not the local index's: a leader
+	// that restarted BEHIND the follower (its generation legitimately
+	// restarts lower) must not trigger a discard — the local generation
+	// can never be lowered to match (RaiseGeneration is monotonic), and
+	// the local facts, derived under a generation at least as new, are
+	// the fresher ones to keep; the older snapshot simply merges in.
+	if gen != f.leaderGen && gen >= f.repl.Generation() {
 		f.repl.Invalidate()
+	}
+	if gen == f.lastResyncGen {
+		f.resyncsAtGen++
+		if f.resyncsAtGen >= 3 && f.cfg.Logger != nil {
+			f.cfg.Logger.Warn("index follower keeps falling back to full snapshot re-syncs at an unchanged leader generation; the leader's delta log may truncate faster than the poll interval",
+				"leader_generation", gen, "consecutive_resyncs", f.resyncsAtGen)
+		}
+	} else {
+		f.lastResyncGen, f.resyncsAtGen = gen, 1
 	}
 	f.repl.Absorb(snap)
 	f.repl.RaiseGeneration(gen)

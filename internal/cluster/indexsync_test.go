@@ -134,6 +134,73 @@ func TestIndexFollowerEndToEnd(t *testing.T) {
 	}
 }
 
+// TestIndexFollowerLeaderBehindKeepsLocalFacts: a leader that comes
+// back with a LOWER index generation than the follower's (a restart
+// legitimately restarts the generation) must not make the follower
+// discard its local facts — the local index is at least as fresh, and
+// its generation can never be lowered to match (RaiseGeneration is
+// monotonic), so the old Invalidate-on-any-difference behavior threw
+// away the fresher state and churned full re-syncs (regression). The
+// older snapshot merges in and polling resumes cleanly.
+func TestIndexFollowerLeaderBehindKeepsLocalFacts(t *testing.T) {
+	leaderA, tsA := bootIndexLeader(t, 0)
+	teach(leaderA, 60, 0)
+	ctx := context.Background()
+	om := obs.NewMetrics(nil)
+
+	repl, cursor, gn, err := BootstrapIndex(ctx, api.NewClient(tsA.URL), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The follower's answer set moves past any leader's: two local
+	// invalidation epochs, then freshly learned local facts.
+	repl.BumpGeneration()
+	repl.BumpGeneration()
+	teach(repl, 50, 9000)
+	localGen := repl.Generation()
+	n := int32(repl.N())
+	prevCheck := make([]int32, n)
+	for u := int32(0); u < n; u++ {
+		prevCheck[u] = repl.Check(u)
+	}
+
+	// "Restarted" leader: fresh index, one invalidation epoch — its
+	// generation (1) is nonzero but BELOW the follower's.
+	leaderB, tsB := bootIndexLeader(t, 0)
+	leaderB.Invalidate()
+	teach(leaderB, 40, 500)
+	if leaderB.Generation() >= localGen {
+		t.Fatalf("leader generation %d not below follower's %d; test setup broken", leaderB.Generation(), localGen)
+	}
+
+	f := NewIndexFollower(repl, api.NewClient(tsB.URL), cursor, gn, IndexFollowerConfig{Metrics: om})
+	if _, err := f.SyncOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if om.IndexSnapshotsLoaded.Value() != 1 {
+		t.Fatalf("snapshots loaded = %d, want exactly 1", om.IndexSnapshotsLoaded.Value())
+	}
+	// Local facts survived the merge: check bounds are monotone, so any
+	// bound that dropped means the follower was invalidated.
+	for u := int32(0); u < n; u++ {
+		if repl.Check(u) < prevCheck[u] {
+			t.Fatalf("Check(%d) dropped %d -> %d: local facts were discarded for an older leader", u, prevCheck[u], repl.Check(u))
+		}
+	}
+	if repl.Generation() != localGen {
+		t.Errorf("follower generation %d changed to %d despite being ahead of the leader", localGen, repl.Generation())
+	}
+
+	// Steady state: no repeated snapshot churn once the leader generation
+	// is recorded.
+	if applied, err := f.SyncOnce(ctx); err != nil || applied != 0 {
+		t.Fatalf("second sync: applied %d err %v, want idle", applied, err)
+	}
+	if om.IndexSnapshotsLoaded.Value() != 1 {
+		t.Errorf("snapshots loaded = %d after steady-state poll, want still 1 (re-sync churn)", om.IndexSnapshotsLoaded.Value())
+	}
+}
+
 // TestIndexFollowerTruncationResync: a follower that fell further behind
 // than the leader's bounded delta log recovers through the snapshot
 // path and still converges.

@@ -56,7 +56,9 @@ type loggedBatch struct {
 //
 // Mutate fans each batch to EVERY replica in lockstep and succeeds when
 // at least one replica applied it (the group can then serve at the new
-// generation). Applied batches are logged; a replica that was down
+// generation); while the serving generation is regressed below the
+// group's high-water mark it refuses batches instead (see Mutate).
+// Applied batches are logged; a replica that was down
 // while batches landed is caught up by replaying the batches it missed
 // — in order, each advancing its generation by one — before it rejoins
 // rotation (rkranks_replica_catchups_total). Index state transfers
@@ -78,6 +80,13 @@ type ReplicaGroup struct {
 	// muMu serializes group mutations and guards mulog.
 	muMu  sync.Mutex
 	mulog []loggedBatch
+
+	// highWater is the newest generation ever observed on any replica or
+	// logged by a batch, independent of health. Mutations are refused
+	// while the serving generation is below it: a regressed group
+	// accepting a batch would reuse an already-logged generation number
+	// for different content (see Mutate).
+	highWater atomic.Uint64
 }
 
 // NewReplicaGroup builds a group over replicas of one shard mask. The
@@ -127,19 +136,48 @@ func backendGeneration(b ShardBackend) uint64 {
 // best healthy replica — it then serves its (older) answers stamped
 // with its own generation, which stays self-consistent: Generation()
 // reports the same regressed value, and cross-shard merges against
-// newer groups are refused by the generation-skew check.
+// newer groups are refused by the generation-skew check. Mutations are
+// refused while regressed (see Mutate), so the group can never mint a
+// generation number colliding with a logged batch it is missing.
+//
+// When NO replica is healthy the target falls back to the maximum over
+// ALL replicas: returning 0 would strand every half-open probe in a
+// generation mismatch — released without ever issuing a call, so
+// record(true) never runs — locking the group out permanently even
+// after the replicas recover.
 func (g *ReplicaGroup) servingGeneration() uint64 {
 	threshold := g.cfg.failureThreshold()
-	var target uint64
+	var target, all uint64
+	anyHealthy := false
 	for i, b := range g.replicas {
+		gen := backendGeneration(b)
+		if gen > all {
+			all = gen
+		}
 		if !g.health[i].healthy(threshold) {
 			continue
 		}
-		if gen := backendGeneration(b); gen > target {
+		anyHealthy = true
+		if gen > target {
 			target = gen
 		}
 	}
+	g.raiseHighWater(all)
+	if !anyHealthy {
+		return all
+	}
 	return target
+}
+
+// raiseHighWater records the newest generation ever observed or logged,
+// independent of replica health (see Mutate's regressed-group guard).
+func (g *ReplicaGroup) raiseHighWater(gen uint64) {
+	for {
+		cur := g.highWater.Load()
+		if gen <= cur || g.highWater.CompareAndSwap(cur, gen) {
+			return
+		}
+	}
 }
 
 // Generation implements the response-cache generation probe: the
@@ -179,14 +217,17 @@ func replicaCall[T any](ctx context.Context, g *ReplicaGroup, call func(b ShardB
 		if !g.health[i].claimProbe(now, threshold) {
 			continue
 		}
-		if gen := backendGeneration(g.replicas[i]); gen != target {
-			// Healthy but generation-stale (just revived, missed mutation
-			// batches): replay what it missed before letting it serve; skip
-			// it if the log cannot get it to the serving generation.
-			if gen > target || !g.catchUp(ctx, i, gen, target) {
-				g.health[i].releaseProbe()
-				continue
-			}
+		// A replica BEHIND the target (just revived, missed mutation
+		// batches) must not serve stale answers: replay what it missed
+		// first, and skip it when the log cannot get it to the serving
+		// generation. A replica AHEAD of the target — the target
+		// regressed because every up-to-date sibling is tripped — serves
+		// anyway: its answers are at least as fresh, and letting its
+		// probe issue a real call is the only way its health, and with it
+		// the serving generation, can recover.
+		if gen := backendGeneration(g.replicas[i]); gen < target && !g.catchUp(ctx, i, gen, target) {
+			g.health[i].releaseProbe()
+			continue
 		}
 		if attempted {
 			g.om.ReplicaFailovers.Inc()
@@ -243,6 +284,49 @@ func (g *ReplicaGroup) catchUp(ctx context.Context, i int, cur, target uint64) b
 	return true
 }
 
+// recoverToHighWater replays logged batches into healthy replicas that
+// sit behind the group's high-water generation — the best-effort path
+// out of a regressed group (see Mutate). Called WITHOUT muMu held:
+// catch-up replay acquires it per batch lookup.
+func (g *ReplicaGroup) recoverToHighWater(ctx context.Context) {
+	hwm := g.highWater.Load()
+	if hwm == 0 {
+		return
+	}
+	threshold := g.cfg.failureThreshold()
+	for i, b := range g.replicas {
+		if !g.health[i].healthy(threshold) {
+			continue
+		}
+		if gen := backendGeneration(b); gen < hwm {
+			g.catchUp(ctx, i, gen, hwm)
+		}
+	}
+}
+
+// generationProber is the over-the-wire generation probe (RemoteShard
+// asks /statsz); in-process backends expose Generation directly.
+type generationProber interface {
+	ProbeGeneration(ctx context.Context) (uint64, error)
+}
+
+// currentGeneration reads a backend's CURRENT generation for the mutate
+// retry guard: in process via Generation, remotely via a /statsz probe.
+// ok=false means the backend has no generation concept or the probe
+// failed, so an applied-but-errored batch cannot be detected and the
+// caller falls back to the plain retry.
+func currentGeneration(ctx context.Context, b ShardBackend) (uint64, bool) {
+	if gp, ok := b.(interface{ Generation() uint64 }); ok {
+		return gp.Generation(), true
+	}
+	if gp, ok := b.(generationProber); ok {
+		if gen, err := gp.ProbeGeneration(ctx); err == nil {
+			return gen, true
+		}
+	}
+	return 0, false
+}
+
 // batchFor finds the logged batch that advanced the group to gen.
 func (g *ReplicaGroup) batchFor(gen uint64) ([]graph.Mutation, bool) {
 	g.muMu.Lock()
@@ -258,6 +342,17 @@ func (g *ReplicaGroup) batchFor(gen uint64) ([]graph.Mutation, bool) {
 // logBatch records an applied batch for later catch-up replay.
 // Caller holds muMu.
 func (g *ReplicaGroup) logBatch(gen uint64, ms []graph.Mutation) {
+	g.raiseHighWater(gen)
+	for _, b := range g.mulog {
+		if b.gen == gen {
+			// Defensive: Mutate's regressed-group guard makes a colliding
+			// generation unreachable, but a second batch must never shadow
+			// the content already logged under this number — catch-up
+			// replay and the recovering up-to-date replica must agree on
+			// what each generation contains.
+			return
+		}
+	}
 	if len(g.mulog) >= maxMutationLog {
 		drop := maxMutationLog / 2
 		g.mulog = append(g.mulog[:0], g.mulog[drop:]...)
@@ -284,7 +379,11 @@ func (g *ReplicaGroup) QueryBatch(ctx context.Context, a core.Algorithm, queries
 // Mutate fans one batch to every replica in lockstep (see the type
 // docs): the group stays mutable while at least one replica applies the
 // batch, and replicas that failed drop out of rotation by generation
-// until caught up.
+// until caught up. A group whose serving generation REGRESSED below its
+// high-water mark (every replica holding the newest batches is out of
+// rotation) refuses the batch with GroupRegressedError after a
+// best-effort catch-up: minting target+1 again would collide with the
+// generation number already logged under different content.
 func (g *ReplicaGroup) Mutate(ctx context.Context, ms []graph.Mutation) (live.MutateInfo, error) {
 	muts := make([]shardMutator, len(g.replicas))
 	for i, b := range g.replicas {
@@ -294,6 +393,14 @@ func (g *ReplicaGroup) Mutate(ctx context.Context, ms []graph.Mutation) (live.Mu
 		}
 		muts[i] = m
 	}
+
+	// Best-effort recovery BEFORE the regressed-group guard below: replay
+	// logged batches into healthy replicas sitting behind the high-water
+	// generation, so a group whose newest replica tripped accepts
+	// mutations again without waiting for that replica to heal. Runs
+	// outside muMu — catch-up replay takes it per batch lookup.
+	g.recoverToHighWater(ctx)
+
 	g.muMu.Lock()
 	defer g.muMu.Unlock()
 
@@ -305,6 +412,9 @@ func (g *ReplicaGroup) Mutate(ctx context.Context, ms []graph.Mutation) (live.Mu
 	// order; here they are simply skipped (no health penalty — lagging is
 	// not illness).
 	target := g.servingGeneration()
+	if hwm := g.highWater.Load(); target < hwm {
+		return live.MutateInfo{}, &GroupRegressedError{Serving: target, HighWater: hwm}
+	}
 	infos := make([]live.MutateInfo, len(muts))
 	errs := make([]error, len(muts))
 	var wg sync.WaitGroup
@@ -316,9 +426,28 @@ func (g *ReplicaGroup) Mutate(ctx context.Context, ms []graph.Mutation) (live.Mu
 		wg.Add(1)
 		go func(i int, m shardMutator) {
 			defer wg.Done()
+			preGen, preKnown := currentGeneration(ctx, g.replicas[i])
 			infos[i], errs[i] = m.Mutate(ctx, ms)
-			if errs[i] != nil && !fatalQueryError(errs[i]) && !immutableRemote(errs[i]) {
-				infos[i], errs[i] = m.Mutate(ctx, ms)
+			if errs[i] == nil || fatalQueryError(errs[i]) || immutableRemote(errs[i]) {
+				return
+			}
+			// A non-fatal error does NOT prove the batch was not applied:
+			// a remote transport can fail after the server committed it.
+			// Blindly re-sending would double-apply the batch and advance
+			// this replica two generations ahead of its siblings, with no
+			// catch-up batch for the hole — so retry only when the
+			// replica's generation provably did not move, and count an
+			// advanced generation as an apply.
+			if gen, ok := currentGeneration(ctx, g.replicas[i]); preKnown && ok && gen > preGen {
+				infos[i], errs[i] = live.MutateInfo{Applied: len(ms), Generation: gen}, nil
+				return
+			}
+			infos[i], errs[i] = m.Mutate(ctx, ms)
+			if errs[i] == nil || fatalQueryError(errs[i]) || immutableRemote(errs[i]) {
+				return
+			}
+			if gen, ok := currentGeneration(ctx, g.replicas[i]); preKnown && ok && gen > preGen {
+				infos[i], errs[i] = live.MutateInfo{Applied: len(ms), Generation: gen}, nil
 			}
 		}(i, m)
 	}

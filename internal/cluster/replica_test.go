@@ -340,6 +340,227 @@ func TestLiveReplicatedByteIdentity(t *testing.T) {
 	check(99)
 }
 
+// TestReplicaGroupAllTrippedRecovery: when EVERY replica is tripped the
+// serving generation must fall back to the replicas' actual generations
+// instead of 0 — otherwise every half-open probe sees a generation
+// mismatch, is released without issuing a call (so record(true) never
+// runs), and the group stays down forever even after the replicas
+// recover (regression).
+func TestReplicaGroupAllTrippedRecovery(t *testing.T) {
+	g := tg.Path(20)
+	cfg := Config{FailureThreshold: 1, RetryBackoff: time.Millisecond}
+	ctx := context.Background()
+	var flakies []*flakyReplica
+	members := make([]ShardBackend, 2)
+	for r := range members {
+		b, err := NewLiveShard(g, live.Config{PoolSize: 1}, Modulo{}, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr := &flakyReplica{ShardBackend: b}
+		flakies = append(flakies, fr)
+		members[r] = fr
+	}
+	rg, err := NewReplicaGroup(members, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, f := range flakies {
+		f.failQuery.Store(true)
+	}
+	// One query attempts (and trips) every replica: threshold 1.
+	if _, err := rg.Query(ctx, core.Dynamic, 0, 3); err == nil {
+		t.Fatal("query succeeded with every replica failing")
+	}
+	// The all-tripped group must keep reporting the replicas' real
+	// generation (live stores start at 1), or recovery probes can never
+	// match the target.
+	if gen := rg.Generation(); gen == 0 {
+		t.Fatal("all-tripped group reports generation 0; probes can never match it")
+	}
+
+	for _, f := range flakies {
+		f.failQuery.Store(false)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := rg.Query(ctx, core.Dynamic, 0, 3); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("group never recovered after every replica healed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestReplicaGroupRegressedGenerationMutate: when the sole replica
+// holding the newest batches trips, the serving generation regresses.
+// Mutations must then be REFUSED (minting the next generation number
+// again would collide with an already-logged batch of different
+// content), the tripped up-to-date replica's probe must still execute
+// real calls (it is ahead of the regressed target, not stale), and once
+// the group re-converges mutations resume with every logged generation
+// unique.
+func TestReplicaGroupRegressedGenerationMutate(t *testing.T) {
+	g := tg.Path(30)
+	om := obs.NewMetrics(nil)
+	// Threshold 3: the lagging replica collects mutate-failure penalties
+	// (one per directly-fanned batch) and must stay HEALTHY-but-lagging,
+	// while query failures trip the up-to-date replica.
+	cfg := Config{Metrics: om, FailureThreshold: 3, RetryBackoff: time.Millisecond}
+	ctx := context.Background()
+	mk := func() *flakyReplica {
+		t.Helper()
+		b, err := NewLiveShard(g, live.Config{PoolSize: 1}, Modulo{}, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &flakyReplica{ShardBackend: b}
+	}
+	up, lag := mk(), mk()
+	rg, err := NewReplicaGroup([]ShardBackend{up, lag}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two batches land on the up-to-date replica only.
+	lag.failMutate.Store(true)
+	for i := 0; i < 2; i++ {
+		if _, err := rg.Mutate(ctx, []graph.Mutation{graph.SetWeight(0, 1, float64(i) + 2)}); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	if up.Generation() != 3 || lag.Generation() != 1 {
+		t.Fatalf("generations up=%d lag=%d, want 3/1", up.Generation(), lag.Generation())
+	}
+
+	// Trip the up-to-date replica (three consecutive failures): the
+	// lagging sibling cannot catch up (it still refuses replay), so every
+	// query fails, and the serving generation regresses to the sibling's.
+	up.failQuery.Store(true)
+	for i := 0; i < 3; i++ {
+		if _, err := rg.Query(ctx, core.Dynamic, 0, 3); err == nil {
+			t.Fatal("query succeeded though the up-to-date replica fails and the sibling cannot catch up")
+		}
+	}
+	if got := rg.Generation(); got != 1 {
+		t.Fatalf("regressed serving generation = %d, want 1", got)
+	}
+
+	// The regressed group must refuse mutations: the lagging replica
+	// still refuses catch-up replay, and generation 2 is already logged.
+	var gre *GroupRegressedError
+	if _, err := rg.Mutate(ctx, []graph.Mutation{graph.SetWeight(1, 2, 9)}); !errors.As(err, &gre) {
+		t.Fatalf("mutation on regressed group: err = %v, want GroupRegressedError", err)
+	}
+
+	// The tripped replica sits AHEAD of the regressed target; its probe
+	// must still issue real calls so it can recover — not be skipped on
+	// the generation mismatch forever.
+	up.failQuery.Store(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for rg.Generation() != 3 {
+		if _, err := rg.Query(ctx, core.Dynamic, 0, 3); err != nil {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("tripped up-to-date replica never recovered; serving generation stuck below its own")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Once replay is accepted again, the next mutation first catches the
+	// lagging replica up from the batch log, then applies everywhere.
+	lag.failMutate.Store(false)
+	info, err := rg.Mutate(ctx, []graph.Mutation{graph.SetWeight(1, 2, 9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 4 {
+		t.Fatalf("post-recovery batch advanced to generation %d, want 4", info.Generation)
+	}
+	if up.Generation() != 4 || lag.Generation() != 4 {
+		t.Fatalf("generations up=%d lag=%d after recovery, want 4/4", up.Generation(), lag.Generation())
+	}
+	if om.ReplicaCatchups.Value() == 0 {
+		t.Error("catch-up replay was not counted")
+	}
+
+	// The collision this all guards against: every logged generation
+	// holds exactly one batch.
+	rg.muMu.Lock()
+	seen := map[uint64]bool{}
+	for _, b := range rg.mulog {
+		if seen[b.gen] {
+			t.Errorf("generation %d logged twice with different content", b.gen)
+		}
+		seen[b.gen] = true
+	}
+	rg.muMu.Unlock()
+}
+
+// ghostFailReplica applies mutation batches but reports a transport
+// failure AFTER the inner backend committed — the "response lost on the
+// wire" case.
+type ghostFailReplica struct {
+	ShardBackend
+	fail  atomic.Bool
+	calls atomic.Int32
+}
+
+func (m *ghostFailReplica) Mutate(ctx context.Context, ms []graph.Mutation) (live.MutateInfo, error) {
+	m.calls.Add(1)
+	info, err := m.ShardBackend.(shardMutator).Mutate(ctx, ms)
+	if err == nil && m.fail.Load() {
+		return live.MutateInfo{}, errors.New("transport dropped the committed response")
+	}
+	return info, err
+}
+
+func (m *ghostFailReplica) Generation() uint64 {
+	return m.ShardBackend.(interface{ Generation() uint64 }).Generation()
+}
+
+// TestReplicaGroupMutateAppliedDespiteError: a replica that APPLIES a
+// batch but fails to deliver the response must not have the batch
+// re-sent — that would double-apply it and advance the replica two
+// generations ahead of its siblings, with no catch-up batch for the
+// hole (regression). The retry guard probes the generation instead.
+func TestReplicaGroupMutateAppliedDespiteError(t *testing.T) {
+	g := tg.Path(20)
+	ctx := context.Background()
+	mk := func() ShardBackend {
+		t.Helper()
+		b, err := NewLiveShard(g, live.Config{PoolSize: 1}, Modulo{}, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	ghost := &ghostFailReplica{ShardBackend: mk()}
+	ghost.fail.Store(true)
+	rg, err := NewReplicaGroup([]ShardBackend{ghost, mk()}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := rg.Mutate(ctx, []graph.Mutation{graph.SetWeight(0, 1, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ghost.calls.Load(); got != 1 {
+		t.Fatalf("batch sent %d times to the failing replica, want 1 (re-sending double-applies)", got)
+	}
+	if info.Generation != 2 {
+		t.Fatalf("batch advanced to generation %d, want 2", info.Generation)
+	}
+	if ghost.Generation() != 2 {
+		t.Fatalf("ghost replica at generation %d, want 2 (exactly one apply)", ghost.Generation())
+	}
+}
+
 // TestCoordinatorMutateImmutableReplicaGroup: a replica group of
 // immutable shards must surface ImmutableShardError (501) through the
 // coordinator, not be miscounted as a generic mutation failure (503).
